@@ -1,0 +1,79 @@
+"""Experiment E6 — §III-B closed-loop FGSM simulation sweep.
+
+The paper deploys the perception DNN in Webots, adds FGSM perturbations
+to the camera stream, and observes: at the assumed δ = 2/255 the
+estimation error never exceeds the verified bound and the system stays
+safe; at δ = 5/255 the bound is sometimes exceeded (no unsafe states
+observed); at δ = 10/255 about 17% of simulations become unsafe.
+
+This regenerates the sweep in our simulator.  The *shape* to match:
+degradation is monotone in δ — no exceedances at the certified δ, then
+exceedances, then actual safety violations.
+"""
+
+import pytest
+
+from benchmarks.conftest import full_mode
+from repro.control import (
+    CameraModel,
+    ClosedLoopSimulator,
+    default_case_study_model,
+    train_perception_model,
+)
+from repro.control import AccDynamics, FeedbackController, max_safe_estimation_error
+from repro.utils import format_table
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return ClosedLoopSimulator(default_case_study_model(seed=0))
+
+
+def test_case_study_simulation(simulator, report, benchmark):
+    tolerance = max_safe_estimation_error(AccDynamics(), FeedbackController())
+    episodes = 20 if full_mode() else 8
+    steps = 300 if full_mode() else 120
+
+    deltas = [0.0, 2 / 255, 5 / 255, 10 / 255, 20 / 255]
+    paper = ["(clean)", "safe, no exceedance", "exceedances, no unsafe",
+             "~17% unsafe", "-"]
+    rows = []
+    stats_by_delta = {}
+    for delta, note in zip(deltas, paper):
+        stats = simulator.run_campaign(
+            episodes=episodes,
+            steps=steps,
+            attack_delta=delta,
+            error_bound=tolerance,
+            seed=7,
+            initial_spread=0.05,
+        )
+        stats_by_delta[delta] = stats
+        rows.append(
+            [
+                f"{delta * 255:.0f}/255",
+                f"{stats['max_estimation_error']:.4f}",
+                f"{stats['exceed_fraction'] * 100:.0f}%",
+                f"{stats['unsafe_fraction'] * 100:.0f}%",
+                note,
+            ]
+        )
+
+    report(
+        format_table(
+            ["δ (attack)", "max |Δd|", "episodes exceeding ē", "unsafe episodes",
+             "paper observation"],
+            rows,
+            title=f"Case study — closed-loop FGSM sweep ({episodes} episodes × "
+            f"{steps} steps, verified tolerance ē={tolerance:.3f})",
+        )
+    )
+
+    # Shape: attack degradation is monotone in δ.
+    errs = [stats_by_delta[d]["max_estimation_error"] for d in deltas]
+    assert errs[-1] >= errs[0] - 1e-9
+    unsafe = [stats_by_delta[d]["unsafe_fraction"] for d in deltas]
+    assert unsafe == sorted(unsafe)
+
+    # Benchmark one clean episode (simulator throughput).
+    benchmark(lambda: simulator.run_episode(steps=30, seed=1))

@@ -1,0 +1,102 @@
+"""Experiment E8 — scalability: exact blow-up vs Algorithm 1's mild growth.
+
+The paper's §I headline: exact methods cannot certify 64 neurons in a
+day, while Algorithm 1 handles >5k neurons in hours.  This bench traces
+runtime against network width for the exact twin MILP, the
+Reluplex-style solver, and Algorithm 1, on freshly trained regressors.
+The shape to reproduce: exact curves grow superlinearly (×10+ per size
+doubling), ours stays polynomial.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import full_mode
+from repro.bounds import Box
+from repro.certify import (
+    CertifierConfig,
+    GlobalRobustnessCertifier,
+    ReluplexStyleSolver,
+    certify_exact_global,
+)
+from repro.data import load_auto_mpg
+from repro.nn import Dense, Network, TrainConfig, train
+from repro.utils import Timer, format_table
+
+
+def make_trained(hidden: int, seed: int = 0) -> Network:
+    rng = np.random.default_rng(seed)
+    x, y = load_auto_mpg(250, seed=seed)
+    half = hidden // 2
+    net = Network(
+        (7,),
+        [
+            Dense(7, half, relu=True, rng=rng),
+            Dense(half, hidden - half, relu=True, rng=rng),
+            Dense(hidden - half, 1, rng=rng),
+        ],
+    )
+    train(net, x, y, config=TrainConfig(epochs=25, batch_size=32, seed=seed))
+    return net
+
+
+def test_scalability(report, benchmark):
+    sizes = (8, 12, 16, 24) if not full_mode() else (8, 12, 16, 24, 32, 48)
+    exact_cutoff = 16 if not full_mode() else 32
+    reluplex_cutoff = 8 if not full_mode() else 12
+
+    rows = []
+    ours_times = []
+    exact_times = []
+    nets = {}
+    for hidden in sizes:
+        net = make_trained(hidden)
+        nets[hidden] = net
+        box = Box.uniform(7, 0.0, 1.0)
+        delta = 0.001
+
+        t_reluplex = None
+        if hidden <= reluplex_cutoff:
+            with Timer() as timer:
+                ReluplexStyleSolver(max_nodes=500_000).certify(net, box, delta)
+            t_reluplex = timer.elapsed
+
+        t_exact = None
+        if hidden <= exact_cutoff:
+            with Timer() as timer:
+                certify_exact_global(net, box, delta)
+            t_exact = timer.elapsed
+            exact_times.append((hidden, t_exact))
+
+        cfg = CertifierConfig(window=2, refine_count=min(8, hidden // 2))
+        with Timer() as timer:
+            GlobalRobustnessCertifier(net, cfg).certify(box, delta)
+        ours_times.append((hidden, timer.elapsed))
+
+        fmt = lambda t: f"{t:.2f}s" if t is not None else "skipped (blow-up)"
+        rows.append([hidden, fmt(t_reluplex), fmt(t_exact), f"{timer.elapsed:.2f}s"])
+
+    report(
+        format_table(
+            ["hidden neurons", "t_R (Reluplex-style)", "t_M (exact MILP)",
+             "t_our (Algorithm 1)"],
+            rows,
+            title="Scalability — certification runtime vs network size "
+            "(Auto MPG-style regressors, δ=0.001).",
+        )
+    )
+
+    # Shape check: exact runtime must grow much faster than ours between
+    # the smallest and largest commonly-certified sizes.
+    if len(exact_times) >= 2:
+        (h0, e0), (h1, e1) = exact_times[0], exact_times[-1]
+        ours_map = dict(ours_times)
+        exact_growth = e1 / max(e0, 1e-3)
+        ours_growth = ours_map[h1] / max(ours_map[h0], 1e-3)
+        assert exact_growth > ours_growth
+
+    benchmark(
+        lambda: GlobalRobustnessCertifier(
+            nets[sizes[0]], CertifierConfig(window=2, refine_count=4)
+        ).certify(Box.uniform(7, 0.0, 1.0), 0.001)
+    )

@@ -1,0 +1,104 @@
+"""Experiment E4 — Table I rows 6–8 (convolutional digit classifiers).
+
+For networks beyond exact certification, the paper sandwiches the true
+global robustness between a dataset-wise PGD under-approximation ε̲ and
+Algorithm 1's over-approximation ε̄, reporting two of the ten outputs.
+The paper's claim to reproduce: ε̄ stays within a small factor (< 3x of
+ε̲ is what DNN-6..8 show) at tractable runtime.
+
+Scale note: the zoo's digit nets use a 14×14 canvas and reduced channel
+counts (hundreds of hidden ReLUs instead of thousands) so this runs in
+CI; DESIGN.md documents the substitution.  Only DNN-6 runs by default —
+set REPRO_BENCH_FULL=1 for DNN-7/8.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import full_mode
+from repro.bounds import Box
+from repro.certify import CertifierConfig, GlobalRobustnessCertifier, pgd_underapproximation
+from repro.data import load_digits
+from repro.utils import format_table
+from repro.zoo import get_network
+
+REPORTED_OUTPUTS = (0, 1)  # the paper reports 2 of the 10 logits
+
+
+def test_table1_mnist(report, benchmark):
+    ids = (6, 7, 8) if full_mode() else (6,)
+    image_size = 14 if full_mode() else 10
+    rows = []
+    bench_target = {}
+    for dnn_id in ids:
+        entry = get_network(dnn_id, image_size=image_size)
+        net = entry.network
+        box = Box.uniform(net.input_dim, 0.0, 1.0)
+
+        # The paper runs W=3 with 30 refined neurons per layer (hours on
+        # a workstation); the default here is the cheap pure-LP pipeline
+        # on a 10x10 canvas so the suite completes quickly.  FULL mode
+        # restores the paper configuration on the 14x14 nets.
+        if full_mode():
+            cfg = CertifierConfig(window=3, refine_count=30, milp_time_limit=15.0)
+        else:
+            cfg = CertifierConfig(window=2, refine_count=0)
+        certifier = GlobalRobustnessCertifier(net, cfg)
+        cert = certifier.certify(box, entry.delta)
+        if not bench_target:
+            bench_target["net"] = net
+            bench_target["delta"] = entry.delta
+
+        images, _ = load_digits(60, size=image_size, seed=123)
+        under = pgd_underapproximation(
+            net,
+            images,
+            entry.delta,
+            outputs=list(REPORTED_OUTPUTS),
+            steps=30,
+            clip_lo=0.0,
+            clip_hi=1.0,
+        )
+
+        for out in REPORTED_OUTPUTS:
+            ratio = cert.epsilons[out] / max(under.epsilons[out], 1e-12)
+            rows.append(
+                [
+                    dnn_id,
+                    entry.hidden_neurons,
+                    f"logit {out}",
+                    f"{cert.solve_time:.1f}s",
+                    f"{under.epsilons[out]:.4f}",
+                    f"{cert.epsilons[out]:.4f}",
+                    f"{ratio:.2f}x",
+                ]
+            )
+            # The sandwich must hold: ε̲ <= ε <= ε̄.
+            assert cert.epsilons[out] >= under.epsilons[out] - 1e-9
+
+    config_note = (
+        "W=3, 30 refined (paper config)" if full_mode() else "W=2, pure LP (fast default)"
+    )
+    report(
+        format_table(
+            ["DNN", "neurons", "output", "t_our", "ε̲ (PGD)", "ε̄ (ours)", "ε̄/ε̲"],
+            rows,
+            title=f"Table I (digit-classifier rows) — δ=2/255, {config_note}.  "
+            "Paper shape: meaningful over-approximation (ε̄ within a few x "
+            "of ε̲) at tractable runtime.",
+        )
+    )
+
+    # Benchmark one under-approximation pass (the cheap half).
+    images, _ = load_digits(10, size=image_size, seed=5)
+    benchmark(
+        lambda: pgd_underapproximation(
+            bench_target["net"],
+            images,
+            bench_target["delta"],
+            outputs=[0],
+            steps=10,
+            clip_lo=0.0,
+            clip_hi=1.0,
+        )
+    )

@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark prints the table/figure rows it regenerates (run pytest
+with ``-s`` to see them inline; they are also appended to
+``benchmarks/results.txt``).  Set ``REPRO_BENCH_FULL=1`` to run the
+slow variants (larger Table I rows, longer simulations).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_PATH = Path(__file__).parent / "results.txt"
+
+
+def full_mode() -> bool:
+    """Whether the slow benchmark variants are enabled."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Callable that prints a block and appends it to results.txt."""
+    RESULTS_PATH.write_text("")
+
+    def emit(block: str) -> None:
+        print("\n" + block)
+        with RESULTS_PATH.open("a") as fh:
+            fh.write(block + "\n\n")
+
+    return emit

@@ -1,0 +1,95 @@
+"""The §III-B case study: verify closed-loop ACC safety end to end.
+
+Pipeline (identical to the paper's):
+  1. train a perception CNN that estimates lead-vehicle distance from
+     camera frames;
+  2. profile its model inaccuracy Δd1 on clean data;
+  3. certify its global robustness ε̄ = Δd2 at δ = 2/255 (Algorithm 1);
+  4. compute the largest estimation error ē the closed loop tolerates
+     (robust control-invariant set);
+  5. verdict: safe iff Δd1 + Δd2 ≤ ē;
+  6. validate empirically: closed-loop FGSM simulations at increasing δ.
+
+Run:
+    python examples/acc_safety_verification.py        # ~5-10 minutes
+    QUICK=1 python examples/acc_safety_verification.py  # smaller certs
+"""
+
+import os
+
+from repro.certify import CertifierConfig
+from repro.control import (
+    CameraModel,
+    ClosedLoopSimulator,
+    train_perception_model,
+    verify_acc_safety,
+)
+from repro.utils import format_table
+
+
+def main() -> None:
+    quick = os.environ.get("QUICK", "0") == "1"
+
+    # 1. Perception model, trained under hard Lipschitz caps — the
+    #    property that makes a tight *global* certificate achievable.
+    #    (The full-size model is cached under .models/ after first use.)
+    print("training perception CNN (Lipschitz-capped)...")
+    if quick:
+        perception = train_perception_model(n_samples=800, epochs=150, seed=0)
+    else:
+        from repro.control import default_case_study_model
+
+        perception = default_case_study_model(seed=0)
+    print(f"  model inaccuracy Δd1 = {perception.model_inaccuracy:.4f} "
+          f"(paper: 0.0730)")
+
+    # 2-5. Design-time verification.
+    print("certifying global robustness + computing invariant set...")
+    verdict = verify_acc_safety(
+        perception,
+        delta=2 / 255,
+        certifier_config=CertifierConfig(
+            window=1 if quick else 2,
+            refine_count=0,
+        ),
+    )
+    print()
+    print(verdict.summary())
+    print(f"(paper: Δd1=0.0730, Δd2=0.0568, total=0.1298 ≤ ē=0.14 ⇒ SAFE)")
+
+    # 6. Empirical validation: FGSM attack sweep in the closed loop.
+    print("\nrunning closed-loop FGSM sweep...")
+    simulator = ClosedLoopSimulator(perception)
+    episodes = 4 if quick else 10
+    steps = 80 if quick else 200
+    rows = []
+    for delta in (0.0, 2 / 255, 5 / 255, 10 / 255):
+        stats = simulator.run_campaign(
+            episodes=episodes,
+            steps=steps,
+            attack_delta=delta,
+            error_bound=verdict.tolerated_error,
+            seed=3,
+            initial_spread=0.05,
+        )
+        rows.append(
+            [
+                f"{delta * 255:.0f}/255",
+                f"{stats['max_estimation_error']:.4f}",
+                f"{stats['exceed_fraction']:.0%}",
+                f"{stats['unsafe_fraction']:.0%}",
+            ]
+        )
+    print(format_table(
+        ["attack δ", "max |Δd|", "episodes exceeding ē", "unsafe episodes"],
+        rows,
+        title=f"Closed-loop FGSM sweep ({episodes} episodes × {steps} steps)",
+    ))
+    print(
+        "\nPaper observation to compare: safe with no exceedance at the "
+        "certified δ=2/255; exceedances at 5/255; ~17% unsafe at 10/255."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Certify a convolutional digit classifier (Table I rows 6-8 workflow).
+
+Trains a small CNN on the synthetic digit dataset, then sandwiches its
+global robustness between a dataset-wise PGD under-approximation and
+Algorithm 1's certified over-approximation for two output logits —
+exactly the methodology the paper uses for networks too large for exact
+certification.
+
+Run:
+    python examples/certify_digit_classifier.py
+"""
+
+import numpy as np
+
+from repro.bounds import Box
+from repro.certify import CertifierConfig, GlobalRobustnessCertifier, pgd_underapproximation
+from repro.data import load_digits, train_test_split
+from repro.nn import Conv2D, Dense, Flatten, Network, TrainConfig, train
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.optimizers import Adam
+from repro.utils import format_table
+
+
+def main() -> None:
+    # 1. Train a conv classifier on synthetic 12x12 digit glyphs.
+    size = 12
+    rng = np.random.default_rng(1)
+    x, y = load_digits(1200, size=size, seed=1)
+    x_tr, y_tr, x_te, y_te = train_test_split(x, y, seed=1)
+
+    net = Network(
+        (1, size, size),
+        [
+            Conv2D(1, 4, kernel_size=3, stride=2, relu=True, rng=rng),
+            Flatten(),
+            Dense(4 * 5 * 5, 24, relu=True, rng=rng),
+            Dense(24, 10, rng=rng),
+        ],
+    )
+    train(
+        net, x_tr, y_tr,
+        loss=SoftmaxCrossEntropy(),
+        optimizer=Adam(lr=2e-3),
+        config=TrainConfig(epochs=25, batch_size=64),
+    )
+    acc = SoftmaxCrossEntropy.accuracy(net.forward(x_te), y_te)
+    print(f"test accuracy: {acc:.2%}, hidden ReLU neurons: {net.num_hidden_neurons()}")
+
+    # 2. Certify at the paper's pixel perturbation delta = 2/255.
+    delta = 2 / 255
+    domain = Box.uniform(net.input_dim, 0.0, 1.0)
+    outputs = [0, 1]  # the paper reports 2 of 10 logits
+
+    certifier = GlobalRobustnessCertifier(
+        net, CertifierConfig(window=2, refine_count=6, milp_time_limit=5.0)
+    )
+    cert = certifier.certify(domain, delta)
+    print(f"\ncertified in {cert.solve_time:.1f}s "
+          f"({cert.lp_count} LPs, {cert.milp_count} MILPs)")
+
+    under = pgd_underapproximation(
+        net, x_te[:40], delta, outputs=outputs, steps=30,
+        clip_lo=0.0, clip_hi=1.0,
+    )
+
+    rows = []
+    for j in outputs:
+        rows.append(
+            [
+                f"logit {j}",
+                f"{under.epsilons[j]:.4f}",
+                f"{cert.epsilons[j]:.4f}",
+                f"{cert.epsilons[j] / max(under.epsilons[j], 1e-12):.2f}x",
+            ]
+        )
+    print(format_table(
+        ["output", "ε̲ (PGD lower)", "ε̄ (certified upper)", "gap"],
+        rows,
+        title=f"Global robustness sandwich at δ = 2/255",
+    ))
+    print(
+        "\nAny true global robustness ε lies inside the sandwich; the "
+        "certified ε̄ is a sound, deterministic guarantee over the whole "
+        "pixel domain, not just the test set."
+    )
+
+
+if __name__ == "__main__":
+    main()

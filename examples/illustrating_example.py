@@ -1,0 +1,80 @@
+"""The paper's Fig. 1/Fig. 4 illustrating example, end to end.
+
+Builds the 2-2-1 network of Fig. 1 and walks through every certification
+variant of Fig. 4, printing our numbers next to the paper's.
+
+Run:
+    python examples/illustrating_example.py
+"""
+
+import numpy as np
+
+from repro.bounds import Box
+from repro.certify import (
+    CertifierConfig,
+    GlobalRobustnessCertifier,
+    certify_exact_global,
+    certify_local_exact,
+    certify_local_lpr,
+    certify_local_nd,
+)
+from repro.certify.comparisons import certify_global_btne_lpr, certify_global_btne_nd
+from repro.nn.affine import AffineLayer
+from repro.utils import format_table
+
+
+def main() -> None:
+    # Fig. 1: y1 = x1 + 0.5 x2, y2 = -0.5 x1 + x2 (ReLU), out = relu(x1-x2).
+    layers = [
+        AffineLayer(np.array([[1.0, 0.5], [-0.5, 1.0]]), np.zeros(2), relu=True),
+        AffineLayer(np.array([[1.0, -1.0]]), np.zeros(1), relu=True),
+    ]
+    domain = Box.uniform(2, -1.0, 1.0)
+    delta = 0.1
+
+    # --- Local robustness around x0 = [0, 0] (Fig. 4 top) ---------------
+    x0 = np.zeros(2)
+    local_rows = []
+    for name, cert, paper in [
+        ("exact", certify_local_exact(layers, x0, delta, domain=domain), "[0, 0.125]"),
+        ("ND", certify_local_nd(layers, x0, delta, window=1, domain=domain), "[0, 0.15]"),
+        ("LPR", certify_local_lpr(layers, x0, delta, domain=domain), "[0, 0.144]"),
+    ]:
+        local_rows.append(
+            [name, f"[{cert.output_lo[0]:.4g}, {cert.output_hi[0]:.4g}]", paper]
+        )
+    print(format_table(["method", "x̂(2) range", "paper"], local_rows,
+                       title="Local robustness (x0=[0,0], δ=0.1)"))
+
+    # --- Global robustness over X = [-1,1]^2 (Fig. 4 bottom) ------------
+    exact = certify_exact_global(layers, domain, delta)
+    itne_nd = GlobalRobustnessCertifier(
+        layers, CertifierConfig(window=1, refine_count=10**6)
+    ).certify(domain, delta)
+    itne_lpr = GlobalRobustnessCertifier(
+        layers, CertifierConfig(window=2, refine_count=0)
+    ).certify(domain, delta)
+    btne_nd = certify_global_btne_nd(layers, domain, delta, window=1)
+    btne_lpr = certify_global_btne_lpr(layers, domain, delta)
+
+    global_rows = [
+        ["exact MILP", f"{exact.epsilon:.4g}", "0.2"],
+        ["BTNE + ND", f"{btne_nd.epsilon:.4g}", "1.5"],
+        ["BTNE + LPR", f"{btne_lpr.epsilon:.4g}", "2.85"],
+        ["ITNE + ND", f"{itne_nd.epsilon:.4g}", "0.3"],
+        ["ITNE + LPR", f"{itne_lpr.epsilon:.4g}", "0.275"],
+    ]
+    print()
+    print(format_table(["method", "ε", "paper"], global_rows,
+                       title="Global robustness (X=[-1,1]^2, δ=0.1)"))
+
+    print(
+        "\nTakeaway: without the interleaving distance variables (BTNE), "
+        "decomposition and relaxation lose the correlation between the "
+        "copies and blow up by ~7x; with ITNE they stay within 1.25-1.5x "
+        "of the exact bound."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""repro — Global Robustness Certification via Interleaving Twin-Network Encoding.
+
+A from-scratch Python reproduction of:
+
+    Zhilu Wang, Chao Huang, Qi Zhu.
+    "Efficient Global Robustness Certification of Neural Networks via
+    Interleaving Twin-Network Encoding", DATE 2022 (arXiv:2203.14141).
+
+Public entry points:
+
+* :class:`repro.certify.GlobalRobustnessCertifier` — Algorithm 1 (ITNE +
+  network decomposition + LP relaxation + selective refinement).
+* :func:`repro.certify.certify_exact_global` /
+  :class:`repro.certify.ReluplexStyleSolver` — exact baselines.
+* :mod:`repro.nn` — numpy network substrate (train / load the models to
+  certify).
+* :mod:`repro.control` — the closed-loop ACC safety-verification case
+  study.
+
+Quickstart::
+
+    import numpy as np
+    from repro.bounds import Box
+    from repro.certify import GlobalRobustnessCertifier, CertifierConfig
+    from repro.zoo import get_network
+
+    entry = get_network(1)                      # Table I DNN-1
+    domain = Box.uniform(entry.network.input_dim, 0.0, 1.0)
+    certifier = GlobalRobustnessCertifier(
+        entry.network, CertifierConfig(window=2, refine_count=4))
+    print(certifier.certify(domain, delta=entry.delta).summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,15 @@
+"""Gradient-based adversarial attacks (FGSM, PGD).
+
+Used in two roles, mirroring the paper:
+
+* dataset-wise PGD gives the *under*-approximation ``ε̲`` of global
+  robustness that sandwiches the certified ``ε̄`` for large networks
+  (Table I, DNN-6..8);
+* FGSM perturbs the perception input inside the closed-loop control
+  simulation of the case study (§III-B).
+"""
+
+from repro.attack.fgsm import fgsm
+from repro.attack.pgd import pgd, variation_pgd
+
+__all__ = ["fgsm", "pgd", "variation_pgd"]

@@ -1,0 +1,38 @@
+"""Fast Gradient Sign Method (Goodfellow et al., ICLR 2015)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.network import Network
+
+
+def fgsm(
+    network: Network,
+    x: np.ndarray,
+    output_weights: np.ndarray,
+    epsilon: float,
+    clip_lo: float | np.ndarray | None = None,
+    clip_hi: float | np.ndarray | None = None,
+    sign: float = 1.0,
+) -> np.ndarray:
+    """One-step signed-gradient perturbation of ``x``.
+
+    Args:
+        network: Target model.
+        x: Single input sample (unbatched, network input shape).
+        output_weights: Combination of outputs whose value the attack
+            increases, e.g. a one-hot selector for one output neuron.
+        epsilon: L∞ step size.
+        clip_lo / clip_hi: Optional valid-domain clipping (e.g. pixel
+            range [0, 1]).
+        sign: +1 to increase the selected output, −1 to decrease it.
+
+    Returns:
+        The perturbed sample, same shape as ``x``.
+    """
+    grad = network.input_gradient(x, np.asarray(output_weights, dtype=float))
+    adv = np.asarray(x, dtype=float) + sign * epsilon * np.sign(grad)
+    if clip_lo is not None or clip_hi is not None:
+        adv = np.clip(adv, clip_lo, clip_hi)
+    return adv

@@ -1,0 +1,113 @@
+"""Projected gradient descent attacks (Madry et al., ICLR 2018)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.network import Network
+
+
+def _project(adv: np.ndarray, center: np.ndarray, epsilon: float, clip_lo, clip_hi):
+    """Project onto the L∞ ball around ``center`` and the valid domain."""
+    adv = np.clip(adv, center - epsilon, center + epsilon)
+    if clip_lo is not None or clip_hi is not None:
+        adv = np.clip(adv, clip_lo, clip_hi)
+    return adv
+
+
+def pgd(
+    network: Network,
+    x: np.ndarray,
+    output_weights: np.ndarray,
+    epsilon: float,
+    steps: int = 40,
+    step_size: float | None = None,
+    clip_lo: float | np.ndarray | None = None,
+    clip_hi: float | np.ndarray | None = None,
+    sign: float = 1.0,
+    rng: np.random.Generator | None = None,
+    random_start: bool = True,
+) -> np.ndarray:
+    """Multi-step L∞ PGD maximizing ``sign * (output_weights @ F(x̂))``.
+
+    Args:
+        network: Target model.
+        x: Single unbatched input sample.
+        output_weights: Output combination to push.
+        epsilon: L∞ radius of the perturbation ball.
+        steps: Number of ascent steps.
+        step_size: Per-step L∞ magnitude (default ``2.5 ε / steps``).
+        clip_lo / clip_hi: Valid-domain clipping.
+        sign: +1 to maximize, −1 to minimize the selected output.
+        rng: Generator for the random start.
+        random_start: Start from a random point in the ball.
+
+    Returns:
+        The adversarial sample.
+    """
+    x = np.asarray(x, dtype=float)
+    step = step_size if step_size is not None else 2.5 * epsilon / max(1, steps)
+    rng = rng or np.random.default_rng()
+    adv = x.copy()
+    if random_start:
+        adv = _project(
+            adv + rng.uniform(-epsilon, epsilon, size=x.shape), x, epsilon, clip_lo, clip_hi
+        )
+    w = np.asarray(output_weights, dtype=float)
+    for _ in range(steps):
+        grad = network.input_gradient(adv, w)
+        adv = adv + sign * step * np.sign(grad)
+        adv = _project(adv, x, epsilon, clip_lo, clip_hi)
+    return adv
+
+
+def variation_pgd(
+    network: Network,
+    x: np.ndarray,
+    output_index: int,
+    delta: float,
+    steps: int = 40,
+    step_size: float | None = None,
+    clip_lo: float | np.ndarray | None = None,
+    clip_hi: float | np.ndarray | None = None,
+    rng: np.random.Generator | None = None,
+    restarts: int = 1,
+) -> tuple[np.ndarray, float]:
+    """PGD maximizing the *output variation* ``|F(x̂)_j − F(x)_j|``.
+
+    Runs ascent in both directions (increase and decrease the output)
+    with optional random restarts and returns the best perturbation.
+
+    Returns:
+        ``(x̂_best, variation)`` where ``variation`` is the achieved
+        ``|F(x̂)_j − F(x)_j|``.
+    """
+    x = np.asarray(x, dtype=float)
+    rng = rng or np.random.default_rng()
+    base = float(network.predict(x).reshape(-1)[output_index])
+    weights = np.zeros(network.output_dim)
+    weights[output_index] = 1.0
+
+    best_adv = x.copy()
+    best_var = 0.0
+    for restart in range(max(1, restarts)):
+        for direction in (+1.0, -1.0):
+            adv = pgd(
+                network,
+                x,
+                weights,
+                epsilon=delta,
+                steps=steps,
+                step_size=step_size,
+                clip_lo=clip_lo,
+                clip_hi=clip_hi,
+                sign=direction,
+                rng=rng,
+                random_start=restart > 0,
+            )
+            value = float(network.predict(adv).reshape(-1)[output_index])
+            var = abs(value - base)
+            if var > best_var:
+                best_var = var
+                best_adv = adv
+    return best_adv, best_var

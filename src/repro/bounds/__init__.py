@@ -1,0 +1,28 @@
+"""Interval analysis: boxes, single-net IBP, and twin-net IBP.
+
+Interval bound propagation serves two roles in the pipeline:
+
+1. It seeds the big-M constants of every MILP encoding (a valid ``[l, u]``
+   range per pre-activation is required for the exact ReLU encoding).
+2. It provides the fallback/starting ranges that Algorithm 1's LP-based
+   refinement tightens layer by layer.
+
+The twin variant propagates value intervals and *distance* intervals
+(``Δy``, ``Δx``) side by side, using the exact ReLU-distance facts
+``0 ∧ Δy ≤ Δx ≤ 0 ∨ Δy`` from Fig. 3 of the paper.
+"""
+
+from repro.bounds.interval import Box
+from repro.bounds.ibp import propagate_box
+from repro.bounds.twin_ibp import TwinBounds, propagate_twin_box, relu_distance_interval
+from repro.bounds.ranges import LayerRanges, RangeTable
+
+__all__ = [
+    "Box",
+    "propagate_box",
+    "propagate_twin_box",
+    "relu_distance_interval",
+    "TwinBounds",
+    "LayerRanges",
+    "RangeTable",
+]

@@ -1,0 +1,34 @@
+"""Single-network interval bound propagation (IBP)."""
+
+from __future__ import annotations
+
+from repro.bounds.interval import Box
+from repro.nn.affine import AffineLayer
+
+
+def propagate_box(
+    layers: list[AffineLayer], input_box: Box, collect: bool = False
+):
+    """Propagate an input box through an affine chain.
+
+    Args:
+        layers: Normal-form network (see :mod:`repro.nn.affine`).
+        input_box: Box over the flattened input.
+        collect: When True, also return per-layer pre-activation boxes.
+
+    Returns:
+        The output box, or ``(output_box, pre_activation_boxes)`` when
+        ``collect`` is set.  ``pre_activation_boxes[i]`` bounds ``y(i+1)``
+        in the paper's indexing.
+    """
+    box = input_box
+    pre_acts: list[Box] = []
+    for layer in layers:
+        box = box.affine(layer.weight, layer.bias)
+        if collect:
+            pre_acts.append(box)
+        if layer.relu:
+            box = box.relu()
+    if collect:
+        return box, pre_acts
+    return box

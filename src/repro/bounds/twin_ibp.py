@@ -1,0 +1,119 @@
+"""Twin-network interval propagation: value and distance boxes together.
+
+This is the interval-arithmetic analogue of the paper's ITNE: alongside
+the value interval of one network copy we track the interval of the
+*distance* ``Δ`` between the two copies.  Through an affine layer the
+distance transforms without the bias (``Δy = W Δx``); through a ReLU the
+exact distance relation of Fig. 3,
+
+    min(0, Δy) ≤ Δx ≤ max(0, Δy),        |Δx| ≤ |Δy|,
+
+combined with what the value intervals of both copies admit, yields a
+sound ``Δx`` interval.  These intervals seed the big-M constants of the
+MILP encodings and the initial range table of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bounds.interval import Box
+from repro.nn.affine import AffineLayer
+
+
+@dataclass
+class TwinBounds:
+    """Per-layer interval records of a twin propagation.
+
+    Attributes:
+        x: Value box of the first copy after each layer (index 0 is the
+            input box).
+        dx: Distance box after each layer (index 0 is the perturbation).
+        y: Pre-activation value box per layer (index i bounds y(i+1)).
+        dy: Pre-activation distance box per layer.
+    """
+
+    x: list[Box] = field(default_factory=list)
+    dx: list[Box] = field(default_factory=list)
+    y: list[Box] = field(default_factory=list)
+    dy: list[Box] = field(default_factory=list)
+
+    @property
+    def output_distance(self) -> Box:
+        """Distance box of the network output (Δx(n))."""
+        return self.dx[-1]
+
+
+def relu_distance_interval(y_box: Box, dy_box: Box) -> Box:
+    """Sound interval for ``Δx = relu(y + Δy) − relu(y)``.
+
+    Intersects two valid enclosures:
+
+    1. The sign/magnitude facts ``min(0, Δy̲) ≤ Δx ≤ max(0, Δy̅)``.
+    2. The difference of the (correlated, but soundly treated as
+       independent) value enclosures ``relu(ŷ) − relu(y)``.
+
+    Degenerate cases where both copies are certainly active (identity)
+    or certainly inactive (zero) are exact.
+    """
+    yhat_box = Box(y_box.lo + dy_box.lo, y_box.hi + dy_box.hi)
+
+    # Certainly-active: Δx = Δy exactly.
+    both_active = (y_box.lo >= 0.0) & (yhat_box.lo >= 0.0)
+    # Certainly-inactive: Δx = 0 exactly.
+    both_inactive = (y_box.hi <= 0.0) & (yhat_box.hi <= 0.0)
+
+    lo1 = np.minimum(0.0, dy_box.lo)
+    hi1 = np.maximum(0.0, dy_box.hi)
+
+    relu_y = y_box.relu()
+    relu_yhat = yhat_box.relu()
+    lo2 = relu_yhat.lo - relu_y.hi
+    hi2 = relu_yhat.hi - relu_y.lo
+
+    lo = np.maximum(lo1, lo2)
+    hi = np.minimum(hi1, hi2)
+
+    lo = np.where(both_active, dy_box.lo, np.where(both_inactive, 0.0, lo))
+    hi = np.where(both_active, dy_box.hi, np.where(both_inactive, 0.0, hi))
+    return Box(lo, hi)
+
+
+def propagate_twin_box(
+    layers: list[AffineLayer], input_box: Box, delta: float | Box
+) -> TwinBounds:
+    """Propagate value and distance boxes through an affine chain.
+
+    Args:
+        layers: Normal-form network.
+        input_box: Box over the flattened input domain ``X``.
+        delta: Input perturbation — either the L∞ radius δ (a float) or
+            an explicit distance box.
+
+    Returns:
+        A :class:`TwinBounds` with per-layer value/distance intervals.
+    """
+    if isinstance(delta, Box):
+        dx_box = delta
+        if dx_box.dim != input_box.dim:
+            raise ValueError("perturbation box dimension mismatch")
+    else:
+        dx_box = Box.uniform(input_box.dim, -float(delta), float(delta))
+
+    bounds = TwinBounds(x=[input_box], dx=[dx_box])
+    x_box, d_box = input_box, dx_box
+    for layer in layers:
+        y_box = x_box.affine(layer.weight, layer.bias)
+        dy_box = d_box.affine(layer.weight, 0.0)
+        bounds.y.append(y_box)
+        bounds.dy.append(dy_box)
+        if layer.relu:
+            x_box = y_box.relu()
+            d_box = relu_distance_interval(y_box, dy_box)
+        else:
+            x_box, d_box = y_box, dy_box
+        bounds.x.append(x_box)
+        bounds.dx.append(d_box)
+    return bounds

@@ -1,0 +1,40 @@
+"""Robustness certification — the paper's primary contribution.
+
+* :mod:`repro.certify.exact` — exact global robustness by solving the
+  full twin-network MILP (Eq. 1); the ``t_M`` baseline of Table I.
+* :mod:`repro.certify.reluplex` — an exact case-splitting (ReLU
+  branch-and-bound) solver standing in for Reluplex/Marabou; the ``t_R``
+  baseline of Table I.
+* :mod:`repro.certify.global_cert` — **Algorithm 1**: the efficient
+  over-approximation combining ITNE, network decomposition and LP
+  relaxation with selective refinement.
+* :mod:`repro.certify.local` — local robustness certification (exact /
+  ND / LPR), reproducing the local half of Fig. 4.
+* :mod:`repro.certify.underapprox` — dataset-wise PGD under-approximation
+  ``ε̲`` used to sandwich the true global robustness for large networks.
+"""
+
+from repro.certify.decomposition import SubNetwork, decompose
+from repro.certify.exact import certify_exact_global
+from repro.certify.global_cert import CertifierConfig, GlobalRobustnessCertifier
+from repro.certify.local import certify_local_exact, certify_local_lpr, certify_local_nd
+from repro.certify.refinement import select_refinement
+from repro.certify.reluplex import ReluplexStyleSolver
+from repro.certify.results import GlobalCertificate, LocalCertificate
+from repro.certify.underapprox import pgd_underapproximation
+
+__all__ = [
+    "certify_exact_global",
+    "GlobalRobustnessCertifier",
+    "CertifierConfig",
+    "ReluplexStyleSolver",
+    "certify_local_exact",
+    "certify_local_nd",
+    "certify_local_lpr",
+    "pgd_underapproximation",
+    "GlobalCertificate",
+    "LocalCertificate",
+    "SubNetwork",
+    "decompose",
+    "select_refinement",
+]

@@ -1,0 +1,118 @@
+"""Network decomposition (ND): extract the sub-networks of Algorithm 1.
+
+``NetDecompose(F, y_j^(i), w)`` yields the depth-``w`` sub-network whose
+input is ``x(i−w)`` and whose output is the *single neuron* ``j`` of
+layer ``i`` — pre-activation (``F_w(y_j)``) or post-activation
+(``F_w(x_j)``).  Algorithm 1 also encodes variants keeping the *whole*
+layer ``i`` as output, which lets one model serve all neurons of the
+layer (the objective is swapped instead of rebuilding the encoding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bounds.interval import Box
+from repro.bounds.ranges import RangeTable
+from repro.nn.affine import AffineLayer
+
+
+@dataclass
+class SubNetwork:
+    """A decomposed slice of the network.
+
+    Attributes:
+        layers: Affine chain of the slice (depth ``w``); the final layer
+            may keep or drop its ReLU depending on ``F_w(x)`` vs
+            ``F_w(y)`` usage.
+        input_layer_index: Global index ``i − w`` whose ranges feed the
+            slice input.
+        output_layer_index: Global index ``i`` of the slice output.
+    """
+
+    layers: list[AffineLayer]
+    input_layer_index: int
+    output_layer_index: int
+
+    @property
+    def depth(self) -> int:
+        """Number of layers in the slice."""
+        return len(self.layers)
+
+
+def decompose(
+    layers: list[AffineLayer],
+    layer_index: int,
+    window: int,
+    output_relu: bool,
+    neuron: int | None = None,
+) -> SubNetwork:
+    """Slice out ``F_w`` ending at layer ``layer_index`` (1-based).
+
+    Args:
+        layers: Full normal-form network.
+        layer_index: Target layer ``i`` (1-based as in the paper).
+        window: Desired depth ``W``; clipped to ``min(i, W)``.  (The
+            paper's Algorithm 1 prints ``max(i, W)`` — a typo, since a
+            prefix of depth ``i`` cannot contain more than ``i`` layers.)
+        output_relu: Keep the final ReLU (``F_w(x_j)``) or strip it
+            (``F_w(y_j)``).
+        neuron: When given, restrict the final layer to this single row.
+
+    Returns:
+        The :class:`SubNetwork` slice.
+    """
+    n = len(layers)
+    if not 1 <= layer_index <= n:
+        raise ValueError(f"layer_index {layer_index} out of range 1..{n}")
+    w = min(layer_index, max(1, window))
+    start = layer_index - w  # input is x(start)
+    slice_layers: list[AffineLayer] = []
+    for k in range(start, layer_index):
+        src = layers[k]
+        is_last = k == layer_index - 1
+        weight = src.weight
+        bias = src.bias
+        if is_last and neuron is not None:
+            weight = weight[neuron : neuron + 1]
+            bias = bias[neuron : neuron + 1]
+        relu = src.relu if not is_last else (src.relu and output_relu)
+        slice_layers.append(AffineLayer(weight, bias, relu, name=src.name))
+    return SubNetwork(slice_layers, start, layer_index)
+
+
+def subnetwork_ranges(
+    table: RangeTable, sub: SubNetwork, neuron: int | None = None
+) -> RangeTable:
+    """Project the global :class:`RangeTable` onto a sub-network.
+
+    The slice's input record is layer ``i−w`` of the global table; its
+    hidden/output records are layers ``i−w+1 .. i``.  When ``neuron`` is
+    given the final layer's boxes are restricted to that row.
+
+    Returns:
+        A new range table indexed 0..w for the slice.
+    """
+    input_ranges = table.layer(sub.input_layer_index)
+    sub_table = RangeTable(
+        input_box=Box(input_ranges.x.lo.copy(), input_ranges.x.hi.copy()),
+        delta_box=Box(input_ranges.dx.lo.copy(), input_ranges.dx.hi.copy()),
+    )
+    for k in range(sub.input_layer_index + 1, sub.output_layer_index + 1):
+        rec = table.layer(k)
+        is_last = k == sub.output_layer_index
+        if is_last and neuron is not None:
+            sel = slice(neuron, neuron + 1)
+        else:
+            sel = slice(None)
+        from repro.bounds.ranges import LayerRanges
+
+        sub_table.layers.append(
+            LayerRanges(
+                y=Box(rec.y.lo[sel].copy(), rec.y.hi[sel].copy()),
+                dy=Box(rec.dy.lo[sel].copy(), rec.dy.hi[sel].copy()),
+                x=Box(rec.x.lo[sel].copy(), rec.x.hi[sel].copy()),
+                dx=Box(rec.dx.lo[sel].copy(), rec.dx.hi[sel].copy()),
+            )
+        )
+    return sub_table

@@ -1,0 +1,85 @@
+"""Selective refinement: score neurons, refine the worst offenders.
+
+LPR removes every integer variable, which can be too loose.  Algorithm 1
+re-introduces exactness for a limited number of neurons: each hidden
+neuron is scored by the worst-case inaccuracy of the relaxations applied
+to it — ``−y̲·y̅/(y̅−y̲)`` for the Eq. 4 triangle and
+``max(|Δy̲|, |Δy̅|)`` for the Eq. 6 butterfly — and the top ``r`` scores
+keep their exact big-M encoding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bounds.ranges import RangeTable
+from repro.certify.decomposition import SubNetwork
+from repro.encoding.relaxation import eq4_score, eq6_score
+
+
+def neuron_scores(sub_table: RangeTable, layer: int) -> np.ndarray:
+    """Combined relaxation-inaccuracy scores of one sub-network layer.
+
+    Args:
+        sub_table: Range table of the sub-network (0 = input record).
+        layer: 1-based layer index within the sub-network.
+
+    Returns:
+        Array of per-neuron scores (larger = worse relaxation).
+    """
+    rec = sub_table.layer(layer)
+    scores = np.empty(rec.y.dim)
+    for j in range(rec.y.dim):
+        y_lb, y_ub = rec.y.scalar(j)
+        dy_lb, dy_ub = rec.dy.scalar(j)
+        # A neuron whose ReLU phase is provably stable in both copies has
+        # exact Eq. 4 and distance relations — refining it buys nothing.
+        yhat_lb, yhat_ub = y_lb + dy_lb, y_ub + dy_ub
+        stably_active = y_lb >= 0.0 and yhat_lb >= 0.0
+        stably_inactive = y_ub <= 0.0 and yhat_ub <= 0.0
+        if stably_active or stably_inactive:
+            scores[j] = 0.0
+        else:
+            scores[j] = eq4_score(y_lb, y_ub) + eq6_score(dy_lb, dy_ub)
+    return scores
+
+
+def select_refinement(
+    sub: SubNetwork,
+    sub_table: RangeTable,
+    refine_count: int,
+    include_output_layer: bool = False,
+) -> list[np.ndarray]:
+    """Build per-layer refine masks for a sub-network encoding.
+
+    Args:
+        sub: The decomposed slice.
+        sub_table: Its range table.
+        refine_count: Number of neurons to encode exactly (top scores).
+        include_output_layer: Whether the final slice layer's neurons are
+            candidates (True for ``F_w(x_j)`` encodings where the output
+            ReLU is part of the problem).
+
+    Returns:
+        Boolean masks (True = refine / exact) aligned with ``sub.layers``.
+    """
+    masks = [np.zeros(layer.out_dim, dtype=bool) for layer in sub.layers]
+    if refine_count <= 0:
+        return masks
+
+    candidates: list[tuple[float, int, int]] = []
+    last = len(sub.layers)
+    for depth in range(1, last + 1):
+        if depth == last and not include_output_layer:
+            continue
+        if not sub.layers[depth - 1].relu:
+            continue
+        scores = neuron_scores(sub_table, depth)
+        for j, score in enumerate(scores):
+            if score > 0.0:
+                candidates.append((float(score), depth, j))
+
+    candidates.sort(key=lambda t: -t[0])
+    for _, depth, j in candidates[:refine_count]:
+        masks[depth - 1][j] = True
+    return masks

@@ -1,0 +1,148 @@
+"""Command-line interface: certify saved models without writing code.
+
+Usage::
+
+    python -m repro info model.npz
+    python -m repro certify model.npz --delta 0.001 --lo 0 --hi 1 \
+        --window 2 --refine 8
+    python -m repro certify model.npz --delta 0.001 --method exact
+    python -m repro attack model.npz --delta 0.01 --samples 20
+
+Models are ``.npz`` snapshots written by
+:func:`repro.nn.serialize.save_network`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.bounds import Box
+from repro.certify import (
+    CertifierConfig,
+    GlobalRobustnessCertifier,
+    ReluplexStyleSolver,
+    certify_exact_global,
+    pgd_underapproximation,
+)
+from repro.nn import load_network
+from repro.nn.lipschitz import linf_gain_upper_bound
+
+
+def _add_domain_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--lo", type=float, default=0.0, help="domain lower bound")
+    parser.add_argument("--hi", type=float, default=1.0, help="domain upper bound")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Global robustness certification of ReLU networks "
+        "(ITNE / DATE 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="describe a saved model")
+    p_info.add_argument("model", help="path to a .npz network snapshot")
+
+    p_cert = sub.add_parser("certify", help="certify global robustness")
+    p_cert.add_argument("model", help="path to a .npz network snapshot")
+    p_cert.add_argument("--delta", type=float, required=True,
+                        help="L-inf input perturbation bound")
+    _add_domain_args(p_cert)
+    p_cert.add_argument(
+        "--method",
+        choices=["algorithm1", "exact", "reluplex"],
+        default="algorithm1",
+        help="algorithm1 = the paper's over-approximation (default); "
+        "exact/reluplex = exact baselines (exponential!)",
+    )
+    p_cert.add_argument("--window", type=int, default=2, help="ND window W")
+    p_cert.add_argument("--refine", type=int, default=0,
+                        help="neurons refined per sub-network")
+    p_cert.add_argument("--backend", default="scipy",
+                        help="scipy | python | python:simplex")
+    p_cert.add_argument("--time-limit", type=float, default=None,
+                        help="per-MILP time limit (seconds)")
+
+    p_att = sub.add_parser("attack", help="PGD under-approximation of ε")
+    p_att.add_argument("model", help="path to a .npz network snapshot")
+    p_att.add_argument("--delta", type=float, required=True)
+    _add_domain_args(p_att)
+    p_att.add_argument("--samples", type=int, default=20,
+                       help="random dataset samples to attack from")
+    p_att.add_argument("--steps", type=int, default=40, help="PGD steps")
+    p_att.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_info(args) -> int:
+    net = load_network(args.model)
+    chain = net.to_affine_layers()
+    print(f"model        : {args.model}")
+    print(f"input shape  : {net.input_shape} ({net.input_dim} flat)")
+    print(f"output dim   : {net.output_dim}")
+    print(f"layers       : {len(net.layers)} "
+          f"({', '.join(type(l).__name__ for l in net.layers)})")
+    print(f"normal form  : {len(chain)} affine stages, "
+          f"{net.num_hidden_neurons()} hidden ReLU neurons")
+    print(f"parameters   : {net.num_parameters()}")
+    print(f"L-inf gain   : <= {linf_gain_upper_bound(net):.4g} "
+          f"(product of layer inf-norms)")
+    return 0
+
+
+def _cmd_certify(args) -> int:
+    net = load_network(args.model)
+    domain = Box.uniform(net.input_dim, args.lo, args.hi)
+    if args.method == "algorithm1":
+        config = CertifierConfig(
+            window=args.window,
+            refine_count=args.refine,
+            backend=args.backend,
+            milp_time_limit=args.time_limit or 30.0,
+        )
+        cert = GlobalRobustnessCertifier(net, config).certify(domain, args.delta)
+    elif args.method == "exact":
+        cert = certify_exact_global(
+            net, domain, args.delta, backend=args.backend,
+            time_limit=args.time_limit,
+        )
+    else:
+        cert = ReluplexStyleSolver(backend=args.backend).certify(
+            net, domain, args.delta
+        )
+    print(cert.summary())
+    for j, eps in enumerate(cert.epsilons):
+        print(f"  output {j}: eps = {eps:.6g}")
+    return 0
+
+
+def _cmd_attack(args) -> int:
+    net = load_network(args.model)
+    rng = np.random.default_rng(args.seed)
+    domain = Box.uniform(net.input_dim, args.lo, args.hi)
+    dataset = domain.sample(rng, args.samples).reshape(
+        args.samples, *net.input_shape
+    )
+    cert = pgd_underapproximation(
+        net, dataset, args.delta, steps=args.steps,
+        clip_lo=args.lo, clip_hi=args.hi, seed=args.seed,
+    )
+    print(cert.summary())
+    for j, eps in enumerate(cert.epsilons):
+        print(f"  output {j}: eps >= {eps:.6g}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {"info": _cmd_info, "certify": _cmd_certify, "attack": _cmd_attack}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Closed-loop control safety case study (paper §III-B).
+
+An advanced cruise control (ACC) loop: an ego vehicle follows a
+reference vehicle, estimating the inter-vehicle distance from camera
+images with a perception CNN.  The paper's Webots setup is replaced by a
+fully synthetic but structurally identical stack:
+
+* :mod:`repro.control.dynamics` — the paper's exact 2-D LTI model with
+  bounded disturbances ``w1`` (reference-vehicle speed) and ``w2``
+  (model inaccuracy).
+* :mod:`repro.control.controller` — the feedback law ``u = K x̂`` with
+  the published gain K = [0.3617, −0.8582].
+* :mod:`repro.control.camera` — deterministic renderer mapping distance
+  to an image of the lead vehicle (apparent size ∝ 1/d).
+* :mod:`repro.control.perception` — builds/trains the distance-estimation
+  CNN on rendered images.
+* :mod:`repro.control.invariant` — robust control-invariant set
+  computation over 2-D polytopes (own halfplane/vertex geometry).
+* :mod:`repro.control.simulator` — the closed-loop simulator with
+  optional FGSM perturbation of the camera image.
+* :mod:`repro.control.safety` — end-to-end safety verification gluing
+  global robustness certification to the invariant-set condition.
+"""
+
+from repro.control.camera import CameraModel
+from repro.control.controller import FeedbackController
+from repro.control.dynamics import AccDynamics
+from repro.control.invariant import Polytope2D, max_safe_estimation_error, robust_invariant_set
+from repro.control.perception import (
+    PerceptionModel,
+    default_case_study_model,
+    train_perception_model,
+)
+from repro.control.safety import SafetyVerdict, verify_acc_safety
+from repro.control.simulator import ClosedLoopSimulator, SimulationResult
+
+__all__ = [
+    "AccDynamics",
+    "FeedbackController",
+    "CameraModel",
+    "PerceptionModel",
+    "train_perception_model",
+    "default_case_study_model",
+    "Polytope2D",
+    "robust_invariant_set",
+    "max_safe_estimation_error",
+    "ClosedLoopSimulator",
+    "SimulationResult",
+    "SafetyVerdict",
+    "verify_acc_safety",
+]

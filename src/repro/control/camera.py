@@ -1,0 +1,126 @@
+"""Synthetic camera: renders the lead vehicle at a given distance.
+
+Replaces Webots' RGB camera with a deterministic image-formation model:
+the reference vehicle appears as a dark rounded body with a bright
+license-plate patch on a road/sky background; its apparent size and
+vertical position scale with ``1/d`` (pinhole geometry), and mild
+per-frame nuisance parameters (lateral offset, illumination) make the
+perception task non-trivial.  Images are single-channel in [0, 1] —
+the structural property that matters for the case study is a smooth,
+monotone-in-distance pixel pattern, which this model provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class CameraModel:
+    """Distance-to-image renderer.
+
+    Attributes:
+        height: Image height in pixels (paper: 24; default 8 keeps the
+            per-neuron certification LPs laptop-sized).
+        width: Image width in pixels (paper: 48; default 16).
+        focal: Pinhole constant: apparent half-width = focal / d.  The
+            default 0.6 keeps the lead vehicle large in frame across the
+            whole operating range, which matters for certification: the
+            distance signal per pixel is strong enough that an accurate
+            estimator exists *within a small Lipschitz budget* — the
+            property a tight global-robustness certificate requires.
+        d_min / d_max: Rendering validity range (matches the safe set
+            with margin).
+    """
+
+    height: int = 8
+    width: int = 16
+    focal: float = 0.6
+    d_min: float = 0.3
+    d_max: float = 2.2
+
+    def render(
+        self,
+        distance: float,
+        lateral: float = 0.0,
+        illumination: float = 1.0,
+    ) -> np.ndarray:
+        """Render one frame.
+
+        Args:
+            distance: Inter-vehicle distance (raw units, ~[0.5, 1.9]).
+            lateral: Lateral offset of the lead vehicle in [-0.2, 0.2].
+            illumination: Global brightness multiplier in [0.8, 1.2].
+
+        Returns:
+            Image array ``(1, height, width)`` in [0, 1].
+        """
+        d = float(np.clip(distance, self.d_min, self.d_max))
+        h, w = self.height, self.width
+
+        # Background: sky gradient over road gradient.
+        rows = np.linspace(0.0, 1.0, h)[:, None]
+        sky = 0.75 - 0.15 * rows
+        road = 0.35 + 0.25 * rows
+        horizon = 0.45
+        background = np.where(rows < horizon, sky, road)
+        image = np.broadcast_to(background, (h, w)).copy()
+
+        # Vehicle body: apparent half-size from pinhole model.
+        half_w = self.focal / d
+        half_h = 0.6 * half_w
+        center_col = 0.5 + lateral / d
+        # Farther vehicles sit closer to the horizon.
+        center_row = horizon + 0.35 * half_h + 0.25 / (1.0 + 2.0 * d)
+
+        cols = np.linspace(0.0, 1.0, w)[None, :]
+        rows2 = np.linspace(0.0, 1.0, h)[:, None]
+        # Soft-edged rectangle via product of logistic edges.
+        sharp = 4.0 * max(h, w)
+        inside_c = _soft_band(cols, center_col - half_w, center_col + half_w, sharp)
+        inside_r = _soft_band(rows2, center_row - half_h, center_row + half_h, sharp)
+        body = inside_c * inside_r
+        image = image * (1.0 - body) + 0.15 * body
+
+        # Bright plate patch in the lower middle of the body.
+        plate_c = _soft_band(
+            cols, center_col - 0.35 * half_w, center_col + 0.35 * half_w, sharp
+        )
+        plate_r = _soft_band(
+            rows2, center_row + 0.2 * half_h, center_row + 0.6 * half_h, sharp
+        )
+        plate = plate_c * plate_r
+        image = image * (1.0 - plate) + 0.9 * plate
+
+        image = np.clip(image * float(illumination), 0.0, 1.0)
+        return image[None, :, :]
+
+    def render_batch(
+        self,
+        distances: np.ndarray,
+        rng: np.random.Generator | None = None,
+        lateral_range: float = 0.15,
+        illum_range: float = 0.15,
+    ) -> np.ndarray:
+        """Render many frames with random nuisance parameters."""
+        rng = rng or np.random.default_rng()
+        frames = []
+        for d in np.asarray(distances, dtype=float).reshape(-1):
+            lateral = float(rng.uniform(-lateral_range, lateral_range))
+            illum = float(1.0 + rng.uniform(-illum_range, illum_range))
+            frames.append(self.render(d, lateral=lateral, illumination=illum))
+        return np.stack(frames)
+
+    @property
+    def image_shape(self) -> tuple[int, int, int]:
+        """Network input shape ``(1, height, width)``."""
+        return (1, self.height, self.width)
+
+
+def _soft_band(coord: np.ndarray, lo: float, hi: float, sharpness: float) -> np.ndarray:
+    """Smooth indicator of ``lo <= coord <= hi`` (logistic edges)."""
+    rise = 1.0 / (1.0 + np.exp(-sharpness * (coord - lo)))
+    fall = 1.0 / (1.0 + np.exp(-sharpness * (hi - coord)))
+    return rise * fall

@@ -1,0 +1,120 @@
+"""The ACC plant model — exactly the system of paper §III-B.
+
+State ``x = [d − 1.2, v_e − 0.4]`` (normalized distance and ego speed):
+
+    x[k+1] = A x[k] + B u[k] + E w1[k] + w2[k]
+
+    A = [[1, −0.1], [0, 1]],   B = [−0.005, 0.1],   E = [1, 0]
+
+``w1 = 0.4 − v_r`` is the external disturbance from the reference
+vehicle's speed ``v_r ∈ [0.2, 0.6]``; ``w2`` is the model-inaccuracy
+disturbance bounded by ``|w_d| ≤ 5e−4``, ``|w_v| ≤ 3e−5``.  Safety is
+``d ∈ [0.5, 1.9]`` and ``v_e ∈ [0.1, 0.7]``.
+
+Deviation from the paper's printed matrices: the paper writes the
+disturbance injection as ``E = [1, 0]ᵀ``, which would let the distance
+jump by up to ±0.2 per 100 ms step — physically impossible for a
+relative-speed effect under a 0.1 s sampling period, and no control
+invariant set can exist under it (the distance drift rate would exceed
+what any in-range ego speed can cancel).  The physically consistent
+discretization multiplies the relative speed by the sampling period,
+``d⁺ = d − 0.1·(v_e − 0.4) − 0.1·w1``, so this implementation uses
+``E = [−0.1, 0]ᵀ``.  With that correction the invariant-set analysis
+reproduces the paper's tolerance of ≈0.14 on the estimation error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class AccDynamics:
+    """ACC plant with the paper's published constants.
+
+    Attributes:
+        a: State matrix (2×2).
+        b: Input vector (2,).
+        e: Disturbance-injection vector for ``w1`` (2,).
+        w1_bound: ``|w1| ≤ w1_bound`` (from ``v_r ∈ [0.2, 0.6]``).
+        w2_bound: Per-coordinate bounds of ``w2`` (2,).
+        d_ref: Distance normalization offset (1.2 m).
+        v_ref: Speed normalization offset (0.4 m/s).
+        safe_d: Safe raw-distance interval.
+        safe_v: Safe raw-speed interval.
+    """
+
+    a: np.ndarray = field(
+        default_factory=lambda: np.array([[1.0, -0.1], [0.0, 1.0]])
+    )
+    b: np.ndarray = field(default_factory=lambda: np.array([-0.005, 0.1]))
+    e: np.ndarray = field(default_factory=lambda: np.array([-0.1, 0.0]))
+    w1_bound: float = 0.2
+    w2_bound: np.ndarray = field(default_factory=lambda: np.array([5e-4, 3e-5]))
+    d_ref: float = 1.2
+    v_ref: float = 0.4
+    safe_d: tuple[float, float] = (0.5, 1.9)
+    safe_v: tuple[float, float] = (0.1, 0.7)
+
+    # -- state conversions ------------------------------------------------
+
+    def to_state(self, d: float, v_e: float) -> np.ndarray:
+        """Raw (distance, speed) -> normalized state vector."""
+        return np.array([d - self.d_ref, v_e - self.v_ref])
+
+    def to_raw(self, x: np.ndarray) -> tuple[float, float]:
+        """Normalized state -> raw (distance, speed)."""
+        return float(x[0] + self.d_ref), float(x[1] + self.v_ref)
+
+    # -- evolution -----------------------------------------------------------
+
+    def step(
+        self,
+        x: np.ndarray,
+        u: float,
+        w1: float = 0.0,
+        w2: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """One 100 ms step of the plant.
+
+        Args:
+            x: Current normalized state.
+            u: Control input (ego acceleration).
+            w1: Reference-vehicle disturbance (``0.4 − v_r``).
+            w2: Model-inaccuracy disturbance (2,).
+
+        Returns:
+            Next normalized state.
+        """
+        if abs(w1) > self.w1_bound + 1e-12:
+            raise ValueError(f"|w1|={abs(w1):g} exceeds bound {self.w1_bound:g}")
+        w2 = np.zeros(2) if w2 is None else np.asarray(w2, dtype=float)
+        if np.any(np.abs(w2) > self.w2_bound + 1e-12):
+            raise ValueError(f"w2={w2} exceeds bounds {self.w2_bound}")
+        return self.a @ x + self.b * float(u) + self.e * float(w1) + w2
+
+    # -- safety ------------------------------------------------------------------
+
+    def safe_state_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Normalized-state box corresponding to the safe set."""
+        lo = np.array([self.safe_d[0] - self.d_ref, self.safe_v[0] - self.v_ref])
+        hi = np.array([self.safe_d[1] - self.d_ref, self.safe_v[1] - self.v_ref])
+        return lo, hi
+
+    def is_safe(self, x: np.ndarray) -> bool:
+        """Safety check in normalized coordinates."""
+        d, v = self.to_raw(x)
+        return (
+            self.safe_d[0] <= d <= self.safe_d[1]
+            and self.safe_v[0] <= v <= self.safe_v[1]
+        )
+
+    def sample_w1(self, rng: np.random.Generator) -> float:
+        """Random admissible reference-speed disturbance."""
+        return float(rng.uniform(-self.w1_bound, self.w1_bound))
+
+    def sample_w2(self, rng: np.random.Generator) -> np.ndarray:
+        """Random admissible model-inaccuracy disturbance."""
+        return rng.uniform(-self.w2_bound, self.w2_bound)

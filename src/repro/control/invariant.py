@@ -1,0 +1,343 @@
+"""Robust control-invariant sets over 2-D polytopes.
+
+The safety argument of §III-B needs: given the closed loop
+
+    x⁺ = (A + BK) x + B·K₁·Δd + E·w1 + w2,
+
+with ``|Δd| ≤ ē`` (total estimation-error bound) and the disturbance
+bounds of :class:`~repro.control.dynamics.AccDynamics`, find a robust
+control-invariant subset of the safe box — if a non-empty invariant set
+containing the operating point exists, every trajectory starting there
+stays safe forever.
+
+Everything is 2-D, so the polytope machinery (halfplane representation,
+vertex enumeration, redundancy removal, support functions) is
+implemented directly with numpy — no external geometry library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class Polytope2D:
+    """Convex polygon in halfplane form ``{x : A x ≤ b}``.
+
+    Attributes:
+        a: ``(m, 2)`` outward normals.
+        b: ``(m,)`` offsets.
+    """
+
+    a: np.ndarray
+    b: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.a = np.asarray(self.a, dtype=float).reshape(-1, 2)
+        self.b = np.asarray(self.b, dtype=float).reshape(-1)
+        if self.a.shape[0] != self.b.shape[0]:
+            raise ValueError("A rows and b length differ")
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_box(cls, lo: np.ndarray, hi: np.ndarray) -> "Polytope2D":
+        """Axis-aligned box as a polytope."""
+        lo = np.asarray(lo, dtype=float)
+        hi = np.asarray(hi, dtype=float)
+        a = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
+        b = np.array([hi[0], -lo[0], hi[1], -lo[1]])
+        return cls(a, b)
+
+    # -- queries ------------------------------------------------------------------
+
+    def contains(self, x: np.ndarray, tol: float = 1e-9) -> bool:
+        """Point membership."""
+        x = np.asarray(x, dtype=float).reshape(2)
+        return bool(np.all(self.a @ x <= self.b + tol))
+
+    def vertices(self, tol: float = 1e-9) -> np.ndarray:
+        """Vertex enumeration by pairwise halfplane intersection.
+
+        Fully vectorized: solves all ``m·(m−1)/2`` 2×2 systems at once
+        via cross products, then keeps the feasible intersection points.
+
+        Returns:
+            ``(k, 2)`` array of vertices in counter-clockwise order
+            (empty when the polytope is empty or unbounded in a way that
+            yields no vertices).
+        """
+        m = self.a.shape[0]
+        if m < 2:
+            return np.empty((0, 2))
+        ii, jj = np.triu_indices(m, k=1)
+        a_i, a_j = self.a[ii], self.a[jj]
+        b_i, b_j = self.b[ii], self.b[jj]
+        det = a_i[:, 0] * a_j[:, 1] - a_i[:, 1] * a_j[:, 0]
+        ok = np.abs(det) > 1e-12
+        if not ok.any():
+            return np.empty((0, 2))
+        det = det[ok]
+        a_i, a_j, b_i, b_j = a_i[ok], a_j[ok], b_i[ok], b_j[ok]
+        # Cramer's rule for [a_i; a_j] p = [b_i; b_j].
+        px = (b_i * a_j[:, 1] - b_j * a_i[:, 1]) / det
+        py = (a_i[:, 0] * b_j - a_j[:, 0] * b_i) / det
+        pts = np.stack([px, py], axis=1)
+        feas = np.all(pts @ self.a.T <= self.b + 1e-7, axis=1)
+        pts = pts[feas]
+        if pts.shape[0] == 0:
+            return np.empty((0, 2))
+        pts = np.unique(np.round(pts, 10), axis=0)
+        center = pts.mean(axis=0)
+        angles = np.arctan2(pts[:, 1] - center[1], pts[:, 0] - center[0])
+        return pts[np.argsort(angles)]
+
+    def is_empty(self, tol: float = 1e-9) -> bool:
+        """Emptiness via Chebyshev-style LP-free vertex check."""
+        return self.vertices().shape[0] == 0
+
+    def area(self) -> float:
+        """Polygon area by the shoelace formula."""
+        verts = self.vertices()
+        if verts.shape[0] < 3:
+            return 0.0
+        x, y = verts[:, 0], verts[:, 1]
+        return 0.5 * abs(
+            float(np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1)))
+        )
+
+    def support(self, direction: np.ndarray) -> float:
+        """Support function ``max_{x ∈ P} direction · x``."""
+        verts = self.vertices()
+        if verts.shape[0] == 0:
+            raise ValueError("support of empty polytope")
+        return float(np.max(verts @ np.asarray(direction, dtype=float)))
+
+    # -- operations ------------------------------------------------------------------
+
+    def intersect(self, other: "Polytope2D") -> "Polytope2D":
+        """Intersection (concatenate halfplanes, prune redundancy)."""
+        return Polytope2D(
+            np.vstack([self.a, other.a]), np.concatenate([self.b, other.b])
+        ).remove_redundancy()
+
+    def remove_redundancy(self) -> "Polytope2D":
+        """Rebuild the minimal halfplane form from the vertex hull.
+
+        Vertices from pairwise intersection carry numerical jitter;
+        taking a proper convex hull (monotone chain with collinearity
+        tolerance) before converting edges back to halfplanes avoids
+        micro-edges whose normals are numerical noise.  This keeps the
+        representation size bounded by the true number of polygon edges,
+        which is what keeps the invariant-set iteration fast and stable
+        over hundreds of intersections.
+        """
+        verts = _convex_hull(self.vertices())
+        k = verts.shape[0]
+        if k < 3:
+            return self  # empty or degenerate; leave untouched
+        a_rows = []
+        b_vals = []
+        for i in range(k):
+            p = verts[i]
+            q = verts[(i + 1) % k]
+            edge = q - p
+            norm = np.hypot(edge[0], edge[1])
+            if norm < 1e-9:
+                continue
+            # CCW polygon: outward normal is the edge rotated by -90°.
+            normal = np.array([edge[1], -edge[0]]) / norm
+            a_rows.append(normal)
+            b_vals.append(float(normal @ p))
+        if len(a_rows) < 3:
+            return self
+        return Polytope2D(np.array(a_rows), np.array(b_vals))
+
+    def linear_preimage(self, matrix: np.ndarray, margin: np.ndarray) -> "Polytope2D":
+        """``{x : M x ∈ P ⊖ margin}`` — halfplanes pulled back through M.
+
+        Args:
+            matrix: The 2×2 map applied to x.
+            margin: Per-halfplane support values of the disturbance set
+                (``h_D(a_i)``), subtracted from the offsets.
+        """
+        return Polytope2D(self.a @ matrix, self.b - np.asarray(margin, dtype=float))
+
+
+def _convex_hull(points: np.ndarray, tol: float = 1e-9) -> np.ndarray:
+    """Monotone-chain convex hull (CCW, collinear points dropped)."""
+    pts = np.asarray(points, dtype=float)
+    if pts.shape[0] < 3:
+        return pts
+    order = np.lexsort((pts[:, 1], pts[:, 0]))
+    pts = pts[order]
+    # Merge near-duplicate points.
+    keep = [0]
+    for i in range(1, pts.shape[0]):
+        if np.max(np.abs(pts[i] - pts[keep[-1]])) > tol:
+            keep.append(i)
+    pts = pts[keep]
+    if pts.shape[0] < 3:
+        return pts
+
+    def cross(o, a, b) -> float:
+        return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+    lower: list[np.ndarray] = []
+    for p in pts:
+        while len(lower) >= 2 and cross(lower[-2], lower[-1], p) <= tol:
+            lower.pop()
+        lower.append(p)
+    upper: list[np.ndarray] = []
+    for p in pts[::-1]:
+        while len(upper) >= 2 and cross(upper[-2], upper[-1], p) <= tol:
+            upper.pop()
+        upper.append(p)
+    hull = lower[:-1] + upper[:-1]
+    return np.array(hull) if len(hull) >= 3 else np.array(hull).reshape(-1, 2)
+
+
+def disturbance_support(
+    normals: np.ndarray,
+    generators: list[tuple[np.ndarray, float]],
+    box: np.ndarray | None = None,
+) -> np.ndarray:
+    """Support function of a zonotopic disturbance set.
+
+    The total disturbance is ``sum_k g_k * s_k`` with ``|s_k| ≤ r_k``
+    (segment generators) plus an optional per-coordinate box.  For a
+    normal ``a`` the support is ``sum_k |a·g_k| r_k + |a|·box``.
+
+    Args:
+        normals: ``(m, 2)`` halfplane normals.
+        generators: List of ``(direction, radius)`` segment generators.
+        box: Optional per-coordinate radii (2,).
+
+    Returns:
+        ``(m,)`` support values.
+    """
+    normals = np.asarray(normals, dtype=float).reshape(-1, 2)
+    support = np.zeros(normals.shape[0])
+    for direction, radius in generators:
+        support += np.abs(normals @ np.asarray(direction, dtype=float)) * float(radius)
+    if box is not None:
+        support += np.abs(normals) @ np.asarray(box, dtype=float)
+    return support
+
+
+def is_robust_invariant(
+    polytope: Polytope2D,
+    closed_loop: np.ndarray,
+    generators: list[tuple[np.ndarray, float]],
+    box: np.ndarray | None = None,
+    tol: float = 1e-7,
+) -> bool:
+    """Verify one-step closure: ``A_cl P ⊕ D ⊆ P``.
+
+    For each halfplane ``a·x ≤ b`` of P, the worst case of
+    ``a·(A_cl x) + h_D(a)`` over P must not exceed ``b``; the maximum of
+    the linear term is attained at a vertex.
+    """
+    verts = polytope.vertices()
+    if verts.shape[0] == 0:
+        return False
+    margins = disturbance_support(polytope.a, generators, box)
+    mapped = verts @ closed_loop.T  # images of all vertices
+    worst = mapped @ polytope.a.T  # (n_verts, n_halfplanes)
+    return bool(np.all(worst.max(axis=0) + margins <= polytope.b + tol))
+
+
+def robust_invariant_set(
+    closed_loop: np.ndarray,
+    generators: list[tuple[np.ndarray, float]],
+    safe: Polytope2D,
+    box: np.ndarray | None = None,
+    max_iter: int = 2000,
+    tol: float = 1e-10,
+) -> Polytope2D:
+    """Maximal robust invariant set inside ``safe`` (backward iteration).
+
+    Iterates ``S ← S ∩ Pre(S)`` where ``Pre(S) = {x : A_cl x ⊕ D ⊆ S}``
+    until the set stops changing or becomes empty.  Because the area
+    criterion can stall before a true fixed point (slowly-shrinking
+    slivers), the result is *verified* for one-step closure before being
+    returned; a set that fails verification is reported as empty.  The
+    returned set is therefore always a genuine robust invariant set
+    (possibly conservative), never an unsound one.
+
+    Args:
+        closed_loop: The 2×2 matrix ``A + BK``.
+        generators: Disturbance segment generators (see
+            :func:`disturbance_support`).
+        safe: The safe-set polytope.
+        box: Optional box-disturbance radii.
+        max_iter: Iteration cap.
+        tol: Area-convergence tolerance.
+
+    Returns:
+        The (possibly empty) verified invariant polytope.
+    """
+    current = safe.remove_redundancy()
+    prev_area = current.area()
+    for _ in range(max_iter):
+        margins = disturbance_support(current.a, generators, box)
+        pre = current.linear_preimage(closed_loop, margins)
+        current = current.intersect(pre)
+        area = current.area()
+        if area <= 0.0:
+            return current
+        if abs(prev_area - area) < tol:
+            break
+        prev_area = area
+    if is_robust_invariant(current, closed_loop, generators, box):
+        return current
+    return Polytope2D(np.array([[1.0, 0.0], [-1.0, 0.0]]), np.array([-1.0, -1.0]))
+
+
+def max_safe_estimation_error(
+    dynamics,
+    controller,
+    resolution: float = 1e-3,
+    hi: float = 0.5,
+    require_point: np.ndarray | None = None,
+) -> float:
+    """Largest ``|Δd|`` bound for which a robust invariant set survives.
+
+    Bisects the distance-estimation-error bound ``ē``; for each
+    candidate the closed-loop invariant set under all disturbances
+    (w1, w2, and ``|Δd| ≤ ē`` entering through ``B K₁``) is computed,
+    and ``ē`` counts as safe when the set is non-empty and contains the
+    operating point (the origin by default).
+
+    Returns:
+        The verified maximum ``ē`` (paper finds 0.14).
+    """
+    acl = controller.closed_loop_matrix(dynamics.a, dynamics.b)
+    lo_box, hi_box = dynamics.safe_state_bounds()
+    safe = Polytope2D.from_box(lo_box, hi_box)
+    point = np.zeros(2) if require_point is None else require_point
+
+    def is_safe(err: float) -> bool:
+        generators = [
+            (dynamics.b * controller.k[0], err),  # estimation error channel
+            (dynamics.e, dynamics.w1_bound),  # reference-speed disturbance
+        ]
+        inv = robust_invariant_set(
+            acl, generators, safe, box=dynamics.w2_bound
+        )
+        return (not inv.is_empty()) and inv.contains(point)
+
+    lo, high = 0.0, hi
+    if not is_safe(lo):
+        return 0.0
+    if is_safe(high):
+        return high
+    while high - lo > resolution:
+        mid = 0.5 * (lo + high)
+        if is_safe(mid):
+            lo = mid
+        else:
+            high = mid
+    return lo

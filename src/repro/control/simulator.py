@@ -1,0 +1,174 @@
+"""Closed-loop ACC simulator (the Webots stand-in) with FGSM attacks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attack.fgsm import fgsm
+from repro.control.camera import CameraModel
+from repro.control.controller import FeedbackController
+from repro.control.dynamics import AccDynamics
+from repro.control.perception import PerceptionModel
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one closed-loop episode.
+
+    Attributes:
+        safe: True when the state stayed in the safe set throughout.
+        steps_survived: Steps completed before a violation (== steps
+            requested when safe).
+        max_estimation_error: Largest ``|d̂ − d|`` observed (the paper's
+            Δd including both model inaccuracy and attack effect).
+        error_exceedances: Steps where ``|d̂ − d|`` exceeded the
+            verified bound passed to the simulator (0 when no bound).
+        distances / speeds / estimates: Per-step traces.
+    """
+
+    safe: bool
+    steps_survived: int
+    max_estimation_error: float
+    error_exceedances: int
+    distances: list[float] = field(default_factory=list)
+    speeds: list[float] = field(default_factory=list)
+    estimates: list[float] = field(default_factory=list)
+
+
+class ClosedLoopSimulator:
+    """Simulate the perception-in-the-loop ACC system.
+
+    Args:
+        perception: Trained distance estimator (with its camera).
+        dynamics: Plant model (defaults to the paper's constants).
+        controller: Feedback law (defaults to the paper's gain).
+    """
+
+    def __init__(
+        self,
+        perception: PerceptionModel,
+        dynamics: AccDynamics | None = None,
+        controller: FeedbackController | None = None,
+    ) -> None:
+        self.perception = perception
+        self.dynamics = dynamics or AccDynamics()
+        self.controller = controller or FeedbackController()
+
+    def run_episode(
+        self,
+        steps: int = 200,
+        attack_delta: float = 0.0,
+        seed: int = 0,
+        initial_state: np.ndarray | None = None,
+        error_bound: float | None = None,
+        lateral_range: float = 0.0,
+        illum_range: float = 0.0,
+    ) -> SimulationResult:
+        """Run one closed-loop episode.
+
+        Args:
+            steps: Episode length (100 ms per step).
+            attack_delta: FGSM L∞ budget on the camera image (0 = clean).
+            seed: RNG seed driving disturbances and nuisances.
+            initial_state: Normalized start state (default: equilibrium).
+            error_bound: Verified ``|Δd|`` bound to count exceedances
+                against (e.g. the invariant-set threshold 0.14).
+            lateral_range / illum_range: Camera nuisance magnitudes
+                (default 0 — the deterministic camera the default
+                perception model is trained on).
+
+        Returns:
+            A :class:`SimulationResult`.
+        """
+        rng = np.random.default_rng(seed)
+        dyn = self.dynamics
+        x = np.zeros(2) if initial_state is None else np.asarray(initial_state, float)
+
+        result = SimulationResult(
+            safe=True, steps_survived=0, max_estimation_error=0.0, error_exceedances=0
+        )
+        weights = np.ones(1)
+
+        for _ in range(steps):
+            d, v_e = dyn.to_raw(x)
+            lateral = float(rng.uniform(-lateral_range, lateral_range))
+            illum = float(1.0 + rng.uniform(-illum_range, illum_range))
+            image = self.perception.camera.render(d, lateral=lateral, illumination=illum)
+
+            if attack_delta > 0.0:
+                image = self._worst_fgsm(image, d, attack_delta)
+
+            d_hat = self.perception.estimate(image)
+            est_error = abs(d_hat - d)
+            result.max_estimation_error = max(result.max_estimation_error, est_error)
+            if error_bound is not None and est_error > error_bound:
+                result.error_exceedances += 1
+
+            x_hat = dyn.to_state(d_hat, v_e)  # speed estimate assumed exact
+            u = self.controller.control(x_hat)
+            x = dyn.step(x, u, w1=dyn.sample_w1(rng), w2=dyn.sample_w2(rng))
+
+            result.distances.append(d)
+            result.speeds.append(v_e)
+            result.estimates.append(d_hat)
+            if not dyn.is_safe(x):
+                result.safe = False
+                return result
+            result.steps_survived += 1
+        return result
+
+    def _worst_fgsm(self, image: np.ndarray, true_d: float, delta: float) -> np.ndarray:
+        """FGSM in the direction that worsens the distance estimate most."""
+        weights = np.ones(1)
+        up = fgsm(
+            self.perception.network, image, weights, delta, clip_lo=0.0, clip_hi=1.0,
+            sign=+1.0,
+        )
+        down = fgsm(
+            self.perception.network, image, weights, delta, clip_lo=0.0, clip_hi=1.0,
+            sign=-1.0,
+        )
+        err_up = abs(self.perception.estimate(up) - true_d)
+        err_down = abs(self.perception.estimate(down) - true_d)
+        return up if err_up >= err_down else down
+
+    def run_campaign(
+        self,
+        episodes: int = 20,
+        steps: int = 200,
+        attack_delta: float = 0.0,
+        error_bound: float | None = None,
+        seed: int = 0,
+        initial_spread: float = 0.1,
+    ) -> dict:
+        """Run many episodes from randomized starts; aggregate statistics.
+
+        Returns:
+            Dict with ``unsafe_fraction``, ``exceed_fraction`` (episodes
+            with at least one ``|Δd|`` exceedance), ``max_estimation_error``
+            and the per-episode results.
+        """
+        rng = np.random.default_rng(seed)
+        results = []
+        for ep in range(episodes):
+            start = rng.uniform(-initial_spread, initial_spread, size=2)
+            results.append(
+                self.run_episode(
+                    steps=steps,
+                    attack_delta=attack_delta,
+                    seed=seed + 1000 + ep,
+                    initial_state=start,
+                    error_bound=error_bound,
+                )
+            )
+        unsafe = sum(1 for r in results if not r.safe)
+        exceed = sum(1 for r in results if r.error_exceedances > 0)
+        return {
+            "episodes": episodes,
+            "unsafe_fraction": unsafe / episodes,
+            "exceed_fraction": exceed / episodes,
+            "max_estimation_error": max(r.max_estimation_error for r in results),
+            "results": results,
+        }

@@ -1,0 +1,27 @@
+"""Synthetic stand-ins for the paper's datasets.
+
+The original evaluation uses the UCI Auto MPG dataset and MNIST.  Neither
+is available in this offline environment, so this package generates
+synthetic datasets with matching structure:
+
+* :mod:`repro.data.auto_mpg` — a 7-feature vehicle fuel-consumption
+  regression problem driven by a physically-motivated nonlinear model.
+* :mod:`repro.data.mnist` — 10-class digit-like glyph images rendered
+  with randomized stroke geometry.
+
+The certification algorithms only see *trained networks*, so any dataset
+that trains networks of the paper's sizes exercises identical code paths
+(see DESIGN.md §2 for the substitution argument).
+"""
+
+from repro.data.auto_mpg import AUTO_MPG_FEATURES, load_auto_mpg
+from repro.data.mnist import load_digits
+from repro.data.splits import standardize, train_test_split
+
+__all__ = [
+    "load_auto_mpg",
+    "AUTO_MPG_FEATURES",
+    "load_digits",
+    "train_test_split",
+    "standardize",
+]

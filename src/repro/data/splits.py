@@ -1,0 +1,42 @@
+"""Dataset utilities: splitting and standardization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def train_test_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split into train/test partitions.
+
+    Returns:
+        ``(x_train, y_train, x_test, y_test)``.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    n = x.shape[0]
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    n_test = max(1, int(round(n * test_fraction)))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return x[train_idx], y[train_idx], x[test_idx], y[test_idx]
+
+
+def standardize(
+    x_train: np.ndarray, x_test: np.ndarray | None = None, eps: float = 1e-8
+) -> tuple[np.ndarray, np.ndarray | None, np.ndarray, np.ndarray]:
+    """Zero-mean/unit-variance scaling fit on the training split.
+
+    Returns:
+        ``(x_train_std, x_test_std, mean, std)``; ``x_test_std`` is None
+        when no test split is given.
+    """
+    mean = x_train.mean(axis=0)
+    std = x_train.std(axis=0) + eps
+    x_train_std = (x_train - mean) / std
+    x_test_std = None if x_test is None else (x_test - mean) / std
+    return x_train_std, x_test_std, mean, std

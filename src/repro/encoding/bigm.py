@@ -1,0 +1,52 @@
+"""Exact big-M MILP encoding of a single ReLU relation."""
+
+from __future__ import annotations
+
+from repro.milp import Model, Var
+from repro.milp.expr import LinExpr
+
+
+def encode_relu_exact(
+    model: Model,
+    y: Var | LinExpr,
+    lb: float,
+    ub: float,
+    name: str = "relu",
+) -> Var:
+    """Add ``x = max(y, 0)`` to ``model`` exactly.
+
+    Uses the standard big-M linearization with one binary indicator when
+    the pre-activation range straddles zero; the stable-active and
+    stable-inactive cases need no binary at all.
+
+    Args:
+        model: Target model.
+        y: Pre-activation variable or affine expression.
+        lb: Valid lower bound on ``y`` (must be sound, e.g. from IBP).
+        ub: Valid upper bound on ``y``.
+        name: Prefix for created variables.
+
+    Returns:
+        The post-activation variable ``x``.
+    """
+    if lb > ub:
+        raise ValueError(f"invalid ReLU bounds [{lb}, {ub}]")
+    y_expr = y.to_expr() if isinstance(y, Var) else y
+
+    if ub <= 0.0:
+        # Stably inactive: x is identically zero.
+        x = model.add_var(lb=0.0, ub=0.0, name=f"{name}.x")
+        return x
+    if lb >= 0.0:
+        # Stably active: x equals y.
+        x = model.add_var(lb=lb, ub=ub, name=f"{name}.x")
+        model.add_constr(x == y_expr)
+        return x
+
+    x = model.add_var(lb=0.0, ub=ub, name=f"{name}.x")
+    z = model.add_var(vtype="binary", name=f"{name}.z")
+    # z = 1 -> active phase (x = y >= 0);  z = 0 -> inactive (x = 0, y <= 0).
+    model.add_constr(x >= y_expr)
+    model.add_constr(x <= y_expr - lb * (1 - z))
+    model.add_constr(x <= ub * z)
+    return x

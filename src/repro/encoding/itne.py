@@ -1,0 +1,244 @@
+"""Interleaving twin-network encoding (ITNE) — the paper's §II-B.
+
+One copy of the network is encoded explicitly (variables ``y``, ``x``);
+the second copy exists only through per-neuron *distance* variables
+``Δy = ŷ − y`` and ``Δx = x̂ − x``.  The nonlinear map ``ŷ → x̂`` is
+replaced by the distance relation ``Δx = relu(y + Δy) − relu(y)``:
+
+* a *refined* neuron encodes both its own ReLU and its twin's ReLU
+  exactly (big-M binaries), making the distance relation exact;
+* a *relaxed* neuron uses the triangle relaxation (Eq. 4) for its own
+  ReLU and the butterfly relaxation (Eq. 6) for the distance relation —
+  no binaries at all.
+
+With every neuron refined, optimizing ``Δx(n)`` over this encoding
+solves the exact global-robustness problem of Eq. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bounds.interval import Box
+from repro.bounds.ranges import RangeTable
+from repro.encoding.bigm import encode_relu_exact
+from repro.encoding.relaxation import encode_distance_relaxed, encode_relu_triangle
+from repro.milp import Model
+from repro.milp.expr import LinExpr, Var
+from repro.nn.affine import AffineLayer
+
+Handle = "Var | LinExpr"
+
+
+@dataclass
+class ItneEncoding:
+    """Handles into an ITNE model.
+
+    Attributes:
+        model: The underlying MILP/LP.
+        input_vars: Variables for ``x(0)`` (one network copy's input).
+        input_dist_vars: Variables for ``Δx(0)`` (the perturbation).
+        y: Per-layer pre-activation expressions of the first copy.
+        dy: Per-layer pre-activation *distance* expressions.
+        x: Per-layer post-activation handles of the first copy.
+        dx: Per-layer post-activation distance handles.
+        num_binaries: Integer variables introduced (refinement cost).
+    """
+
+    model: Model
+    input_vars: list[Var]
+    input_dist_vars: list[Var]
+    y: list[list[LinExpr]] = field(default_factory=list)
+    dy: list[list[LinExpr]] = field(default_factory=list)
+    x: list[list[Var | LinExpr]] = field(default_factory=list)
+    dx: list[list[Var | LinExpr]] = field(default_factory=list)
+
+    @property
+    def output_distance(self) -> list[Var | LinExpr]:
+        """Distance handles of the output layer (Δx(n))."""
+        return self.dx[-1]
+
+    @property
+    def output(self) -> list[Var | LinExpr]:
+        """First-copy output handles (x(n))."""
+        return self.x[-1]
+
+    @property
+    def num_binaries(self) -> int:
+        """Binary variables in the model (0 for a pure LP relaxation)."""
+        return self.model.num_binary
+
+
+def encode_itne(
+    layers: list[AffineLayer],
+    input_box: Box,
+    delta: float | Box,
+    ranges: RangeTable | None = None,
+    refine_mask: list[np.ndarray] | None = None,
+    couple_second_copy: bool = True,
+    clip_second_input: bool = True,
+    model: Model | None = None,
+    prefix: str = "t",
+) -> ItneEncoding:
+    """Encode the twin pair under ITNE.
+
+    Args:
+        layers: Normal-form network (or sub-network for ND).
+        input_box: Range of the first copy's input — the input domain
+            ``X`` for the full network, or the propagated ``x(i−w)``
+            range for a sub-network.
+        delta: Perturbation: the L∞ bound δ (float) for the full
+            network, or the propagated ``Δx(i−w)`` box for a sub-network.
+        ranges: Per-layer ``y``/``Δy`` bounds used for big-M constants
+            and relaxations; computed by twin IBP when omitted.
+        refine_mask: Per-layer boolean arrays; ``True`` = encode this
+            neuron exactly (binaries), ``False`` = relax (Eq. 4 + Eq. 6).
+            ``None`` refines every neuron (exact encoding).
+        couple_second_copy: Additionally apply the triangle relaxation to
+            the implicit second copy ``x̂ = x + Δx`` (sound tightening
+            enabled by the interleaving variables).
+        clip_second_input: Constrain ``x(0) + Δx(0)`` inside
+            ``input_box`` (both inputs must lie in the domain, per
+            Definition 1).
+        model: Existing model to extend.
+        prefix: Variable-name prefix.
+
+    Returns:
+        An :class:`ItneEncoding`.
+    """
+    model = model or Model("itne")
+    if isinstance(delta, Box):
+        delta_box = delta
+        if delta_box.dim != input_box.dim:
+            raise ValueError("perturbation box dimension mismatch")
+    else:
+        delta_box = Box.uniform(input_box.dim, -float(delta), float(delta))
+    if ranges is None:
+        ranges = RangeTable.from_interval_propagation(layers, input_box, delta_box)
+
+    input_vars = [
+        model.add_var(lb=float(lo), ub=float(hi), name=f"{prefix}.x0[{k}]")
+        for k, (lo, hi) in enumerate(zip(input_box.lo, input_box.hi))
+    ]
+    input_dist_vars = [
+        model.add_var(lb=float(lo), ub=float(hi), name=f"{prefix}.dx0[{k}]")
+        for k, (lo, hi) in enumerate(zip(delta_box.lo, delta_box.hi))
+    ]
+    if clip_second_input:
+        for k, (x0, d0) in enumerate(zip(input_vars, input_dist_vars)):
+            second = x0 + d0
+            model.add_constr(second >= float(input_box.lo[k]))
+            model.add_constr(second <= float(input_box.hi[k]))
+
+    enc = ItneEncoding(model, input_vars, input_dist_vars)
+    cur_x: list[Var | LinExpr] = list(input_vars)
+    cur_dx: list[Var | LinExpr] = list(input_dist_vars)
+
+    for i, layer in enumerate(layers):
+        layer_ranges = ranges.layer(i + 1)
+        mask = None if refine_mask is None else refine_mask[i]
+        y_list: list[LinExpr] = []
+        dy_list: list[LinExpr] = []
+        x_list: list[Var | LinExpr] = []
+        dx_list: list[Var | LinExpr] = []
+        for j in range(layer.out_dim):
+            w_row = layer.weight[j]
+            y_expr = _row_dot(w_row, cur_x, float(layer.bias[j]))
+            dy_expr = _row_dot(w_row, cur_dx, 0.0)
+            y_list.append(y_expr)
+            dy_list.append(dy_expr)
+
+            if not layer.relu:
+                x_list.append(y_expr)
+                dx_list.append(dy_expr)
+                continue
+
+            y_lb, y_ub = layer_ranges.y.scalar(j)
+            dy_lb, dy_ub = layer_ranges.dy.scalar(j)
+            tag = f"{prefix}.l{i}n{j}"
+            # Range cuts: Algorithm 1 lists the hidden-neuron ranges
+            # y(i−k), Δy(i−k) as prerequisites of every sub-network
+            # problem.  They are globally valid (derived from the full
+            # network earlier), so adding them as constraints is sound —
+            # and necessary: inside a decomposed slice the box-relaxed
+            # inputs can otherwise reach y/Δy values outside these
+            # ranges, where the exact big-M encoding admits distance
+            # values the Eq. 6 butterfly would have cut off (making a
+            # *refined* neuron paradoxically looser than a relaxed one).
+            model.add_constr(y_expr >= y_lb)
+            model.add_constr(y_expr <= y_ub)
+            model.add_constr(dy_expr >= dy_lb)
+            model.add_constr(dy_expr <= dy_ub)
+            refine = True if mask is None else bool(mask[j])
+            if refine:
+                x_var = encode_relu_exact(model, y_expr, y_lb, y_ub, name=tag)
+                xhat_var = encode_relu_exact(
+                    model,
+                    y_expr + dy_expr,
+                    y_lb + dy_lb,
+                    y_ub + dy_ub,
+                    name=f"{tag}.hat",
+                )
+                x_list.append(x_var)
+                dx_list.append(_as_expr(xhat_var) - _as_expr(x_var))
+            else:
+                x_var = encode_relu_triangle(model, y_expr, y_lb, y_ub, name=tag)
+                dx_var = encode_distance_relaxed(
+                    model, dy_expr, dy_lb, dy_ub, name=tag
+                )
+                if couple_second_copy:
+                    _couple_triangle(
+                        model,
+                        x_var + dx_var,
+                        y_expr + dy_expr,
+                        y_lb + dy_lb,
+                        y_ub + dy_ub,
+                    )
+                x_list.append(x_var)
+                dx_list.append(dx_var)
+        enc.y.append(y_list)
+        enc.dy.append(dy_list)
+        enc.x.append(x_list)
+        enc.dx.append(dx_list)
+        cur_x, cur_dx = x_list, dx_list
+    return enc
+
+
+def _couple_triangle(
+    model: Model, xhat: LinExpr, yhat: LinExpr, lb: float, ub: float
+) -> None:
+    """Triangle constraints on the implicit second copy ``x̂ = x + Δx``."""
+    if ub <= 0.0:
+        model.add_constr(xhat == 0.0)
+        return
+    if lb >= 0.0:
+        model.add_constr(xhat == yhat)
+        return
+    model.add_constr(xhat >= 0.0)
+    model.add_constr(xhat >= yhat)
+    slope = ub / (ub - lb)
+    model.add_constr(xhat <= slope * yhat - slope * lb)
+
+
+def _as_expr(handle) -> LinExpr:
+    return handle.to_expr() if isinstance(handle, Var) else handle
+
+
+def _row_dot(weights: np.ndarray, handles, bias: float) -> LinExpr:
+    """Affine combination ``w · handles + bias`` over mixed handles."""
+    total = LinExpr.constant_expr(bias)
+    direct_vars = []
+    direct_w = []
+    for w, h in zip(weights, handles):
+        if w == 0.0:
+            continue
+        if isinstance(h, Var):
+            direct_vars.append(h)
+            direct_w.append(float(w))
+        else:
+            total = total + h * float(w)
+    if direct_vars:
+        total = total + LinExpr.weighted_sum(direct_vars, direct_w)
+    return total

@@ -1,0 +1,111 @@
+"""LP relaxations: the ReLU triangle (Eq. 4) and the distance relation (Eq. 6).
+
+These are the two relaxations that, combined with the interleaving
+encoding, remove all integer variables from the certification MILPs.
+Both come with *scores* measuring their worst-case inaccuracy — the
+quantities Algorithm 1 ranks to pick which neurons to refine.
+"""
+
+from __future__ import annotations
+
+from repro.milp import Model, Var
+from repro.milp.expr import LinExpr
+
+
+def encode_relu_triangle(
+    model: Model,
+    y: Var | LinExpr,
+    lb: float,
+    ub: float,
+    name: str = "relu",
+) -> Var:
+    """Add the triangle relaxation of ``x = max(y, 0)`` (paper Eq. 4).
+
+    For ``lb < 0 < ub`` the feasible set is the triangle
+
+        x ≥ 0,   x ≥ y,   x ≤ ub·(y − lb)/(ub − lb).
+
+    Stable cases degenerate to exact equalities.
+
+    Returns:
+        The post-activation variable ``x``.
+    """
+    if lb > ub:
+        raise ValueError(f"invalid ReLU bounds [{lb}, {ub}]")
+    y_expr = y.to_expr() if isinstance(y, Var) else y
+
+    if ub <= 0.0:
+        return model.add_var(lb=0.0, ub=0.0, name=f"{name}.x")
+    if lb >= 0.0:
+        x = model.add_var(lb=lb, ub=ub, name=f"{name}.x")
+        model.add_constr(x == y_expr)
+        return x
+
+    x = model.add_var(lb=0.0, ub=ub, name=f"{name}.x")
+    model.add_constr(x >= y_expr)
+    slope = ub / (ub - lb)
+    model.add_constr(x <= slope * y_expr - slope * lb)
+    return x
+
+
+def eq6_bounds(dy_lb: float, dy_ub: float) -> tuple[float, float]:
+    """Interval implied by Eq. 6 for ``Δx`` given the ``Δy`` range.
+
+    ``l = min(0, Δy̲)``, ``u = max(0, Δy̅)``; the relaxation's extreme
+    values are exactly ``[l, u]``.
+    """
+    return min(0.0, dy_lb), max(0.0, dy_ub)
+
+
+def encode_distance_relaxed(
+    model: Model,
+    dy: Var | LinExpr,
+    dy_lb: float,
+    dy_ub: float,
+    name: str = "dist",
+) -> Var:
+    """Add the relaxed ReLU distance relation (paper Eq. 6 / Fig. 3 right).
+
+    Encodes the butterfly hull of ``Δx = relu(y + Δy) − relu(y)`` over
+    all ``y ∈ R`` given ``Δy ∈ [Δy̲, Δy̅]``:
+
+        l(u − Δy)/(u − l)  ≤  Δx  ≤  u(Δy − l)/(u − l),
+
+    with ``l = min(0, Δy̲)`` and ``u = max(0, Δy̅)``.  Single-signed
+    ranges degenerate to the exact hull ``0 ∧ Δy ≤ Δx ≤ 0 ∨ Δy``, and a
+    zero-width range pins ``Δx = 0``.
+
+    Returns:
+        The distance variable ``Δx``.
+    """
+    if dy_lb > dy_ub:
+        raise ValueError(f"invalid Δy bounds [{dy_lb}, {dy_ub}]")
+    dy_expr = dy.to_expr() if isinstance(dy, Var) else dy
+    l, u = eq6_bounds(dy_lb, dy_ub)
+
+    if u - l <= 0.0:
+        # Δy can only be 0 -> the two copies agree at this neuron.
+        return model.add_var(lb=0.0, ub=0.0, name=f"{name}.dx")
+
+    dx = model.add_var(lb=l, ub=u, name=f"{name}.dx")
+    span = u - l
+    # Lower: dx >= l*(u - dy)/span  <=>  dx - (l/span)*(u - dy) >= 0
+    model.add_constr(dx >= (l * u) / span - (l / span) * dy_expr)
+    # Upper: dx <= u*(dy - l)/span
+    model.add_constr(dx <= (u / span) * dy_expr - (u * l) / span)
+    return dx
+
+
+def eq4_score(lb: float, ub: float) -> float:
+    """Worst-case inaccuracy of the triangle relaxation: ``−lb·ub/(ub−lb)``.
+
+    Zero for stable neurons (no relaxation gap).
+    """
+    if lb >= 0.0 or ub <= 0.0:
+        return 0.0
+    return -lb * ub / (ub - lb)
+
+
+def eq6_score(dy_lb: float, dy_ub: float) -> float:
+    """Worst-case inaccuracy of the distance relaxation: ``max(|Δy̲|,|Δy̅|)``."""
+    return max(abs(dy_lb), abs(dy_ub))

@@ -1,0 +1,119 @@
+"""Encode one network copy as a MILP (exact or LP-relaxed per neuron)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bounds.ibp import propagate_box
+from repro.bounds.interval import Box
+from repro.encoding.bigm import encode_relu_exact
+from repro.encoding.relaxation import encode_relu_triangle
+from repro.milp import Model, Var
+from repro.milp.expr import LinExpr
+from repro.nn.affine import AffineLayer
+
+
+@dataclass
+class SingleEncoding:
+    """Handles into a single-copy encoding.
+
+    Attributes:
+        model: The underlying MILP.
+        input_vars: Variables for the (flattened) network input.
+        y: Per-layer pre-activation expressions.
+        x: Per-layer post-activation variables/expressions.
+        output: Post-activation handles of the final layer.
+    """
+
+    model: Model
+    input_vars: list[Var]
+    y: list[list[LinExpr]] = field(default_factory=list)
+    x: list[list[Var | LinExpr]] = field(default_factory=list)
+
+    @property
+    def output(self) -> list[Var | LinExpr]:
+        """Output-layer handles."""
+        return self.x[-1]
+
+
+def encode_single_network(
+    layers: list[AffineLayer],
+    input_box: Box,
+    relax_mask: list[np.ndarray] | None = None,
+    pre_act_bounds: list[Box] | None = None,
+    model: Model | None = None,
+    prefix: str = "n",
+) -> SingleEncoding:
+    """Encode ``F(x)`` over ``input_box`` into a MILP.
+
+    Args:
+        layers: Normal-form network.
+        input_box: Domain of the input variables.
+        relax_mask: Optional per-layer boolean arrays; ``True`` relaxes
+            that neuron's ReLU with the triangle (Eq. 4) instead of the
+            exact big-M encoding.  ``None`` encodes everything exactly.
+        pre_act_bounds: Sound per-layer pre-activation boxes; computed by
+            IBP when omitted.
+        model: Existing model to extend (used by the twin encoders).
+        prefix: Variable-name prefix.
+
+    Returns:
+        A :class:`SingleEncoding` with variable handles.
+    """
+    model = model or Model("single")
+    if pre_act_bounds is None:
+        _, pre_act_bounds = propagate_box(layers, input_box, collect=True)
+
+    input_vars = [
+        model.add_var(lb=float(lo), ub=float(hi), name=f"{prefix}.x0[{k}]")
+        for k, (lo, hi) in enumerate(zip(input_box.lo, input_box.hi))
+    ]
+    enc = SingleEncoding(model=model, input_vars=input_vars)
+
+    current: list[Var | LinExpr] = list(input_vars)
+    for i, layer in enumerate(layers):
+        y_bounds = pre_act_bounds[i]
+        mask = None if relax_mask is None else relax_mask[i]
+        y_exprs: list[LinExpr] = []
+        x_handles: list[Var | LinExpr] = []
+        for j in range(layer.out_dim):
+            # Build y = W_j . current + b_j over mixed Var/LinExpr handles.
+            y_expr = _row_dot(layer.weight[j], current, float(layer.bias[j]))
+            y_exprs.append(y_expr)
+            if not layer.relu:
+                x_handles.append(y_expr)
+                continue
+            lb, ub = y_bounds.scalar(j)
+            tag = f"{prefix}.l{i}n{j}"
+            if mask is not None and bool(mask[j]):
+                x_handles.append(
+                    encode_relu_triangle(model, y_expr, lb, ub, name=tag)
+                )
+            else:
+                x_handles.append(encode_relu_exact(model, y_expr, lb, ub, name=tag))
+        enc.y.append(y_exprs)
+        enc.x.append(x_handles)
+        current = x_handles
+    return enc
+
+
+def _row_dot(
+    weights: np.ndarray, handles: list[Var | LinExpr], bias: float
+) -> LinExpr:
+    """Affine combination of mixed Var/LinExpr handles: ``w·h + b``."""
+    total = LinExpr.constant_expr(bias)
+    var_idx: list = []
+    var_w: list[float] = []
+    for w, h in zip(weights, handles):
+        if w == 0.0:
+            continue
+        if isinstance(h, Var):
+            var_idx.append(h)
+            var_w.append(float(w))
+        else:
+            total = total + h * float(w)
+    if var_idx:
+        total = total + LinExpr.weighted_sum(var_idx, var_w)
+    return total

@@ -1,0 +1,45 @@
+"""Mixed-integer linear programming modeling layer and solvers.
+
+This package is the repository's substitute for Gurobi.  It provides a
+small but complete modeling API (:class:`Var`, :class:`LinExpr`,
+:class:`Constraint`, :class:`Model`) together with two interchangeable
+solving backends:
+
+* :mod:`repro.milp.scipy_backend` — compiles a model to
+  ``scipy.optimize.milp`` / ``scipy.optimize.linprog`` (HiGHS), the
+  default and fastest backend.
+* :mod:`repro.milp.branch_bound` — a pure-Python branch-and-bound MILP
+  solver built on LP relaxations, usable with either HiGHS LPs or the
+  dense simplex implementation in :mod:`repro.milp.simplex`.
+
+Typical usage::
+
+    from repro.milp import Model
+
+    m = Model("example")
+    x = m.add_var(lb=0.0, ub=10.0, name="x")
+    z = m.add_var(vtype="binary", name="z")
+    m.add_constr(x + 4 * z <= 8)
+    m.set_objective(x + z, sense="max")
+    result = m.solve()
+    assert result.is_optimal
+    print(result[x], result[z])
+"""
+
+from repro.milp.expr import LinExpr, Var, VType
+from repro.milp.model import Constraint, Model, Sense
+from repro.milp.solution import SolveResult, SolveStatus
+from repro.milp.backend import available_backends, get_backend
+
+__all__ = [
+    "Var",
+    "VType",
+    "LinExpr",
+    "Constraint",
+    "Model",
+    "Sense",
+    "SolveResult",
+    "SolveStatus",
+    "get_backend",
+    "available_backends",
+]

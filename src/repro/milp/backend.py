@@ -1,0 +1,38 @@
+"""Backend registry: maps backend names to solver implementations."""
+
+from __future__ import annotations
+
+from repro.milp.branch_bound import BranchBoundBackend
+from repro.milp.scipy_backend import ScipyBackend
+
+_BACKENDS = {
+    "scipy": ScipyBackend,
+    "highs": ScipyBackend,
+    "python": BranchBoundBackend,
+}
+
+
+def available_backends() -> list[str]:
+    """Names accepted by :func:`get_backend`."""
+    return sorted(_BACKENDS)
+
+
+def get_backend(name: str = "scipy"):
+    """Instantiate a solving backend by name.
+
+    Args:
+        name: ``"scipy"``/``"highs"`` for the HiGHS-based backend, or
+            ``"python"`` for the pure branch-and-bound solver.  The
+            suffix ``":simplex"`` on ``"python"`` selects the built-in
+            dense simplex for LP relaxations (e.g. ``"python:simplex"``).
+    """
+    base, _, variant = name.partition(":")
+    try:
+        cls = _BACKENDS[base]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {available_backends()}"
+        ) from exc
+    if cls is BranchBoundBackend and variant:
+        return cls(lp_solver=variant)
+    return cls()

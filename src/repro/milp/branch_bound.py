@@ -1,0 +1,194 @@
+"""A pure-Python branch-and-bound MILP solver over LP relaxations.
+
+This backend demonstrates that the certification pipeline does not depend
+on any specific commercial solver: given the standard form exported by
+:class:`repro.milp.model.Model`, it performs best-first branch-and-bound,
+solving LP relaxations either with scipy's HiGHS ``linprog`` (default,
+``lp_solver="highs"``) or with the repository's own dense simplex
+(``lp_solver="simplex"``).
+
+Branching is most-fractional; node selection is best-bound; integrality
+of "binary"/"integer" columns is enforced by bound tightening.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.optimize as sopt
+
+from repro.milp import simplex
+from repro.milp.solution import SolveResult, SolveStatus
+
+_INT_TOL = 1e-6
+
+
+@dataclass(order=True)
+class _Node:
+    """A branch-and-bound node ordered by its LP relaxation bound."""
+
+    bound: float
+    seq: int
+    lo: np.ndarray = field(compare=False)
+    hi: np.ndarray = field(compare=False)
+
+
+class BranchBoundBackend:
+    """Best-first branch-and-bound MILP solver.
+
+    Args:
+        lp_solver: ``"highs"`` to relax with scipy linprog, ``"simplex"``
+            to use :mod:`repro.milp.simplex` (fully self-contained).
+        max_nodes: Safety cap on explored nodes.
+    """
+
+    name = "python"
+
+    def __init__(self, lp_solver: str = "highs", max_nodes: int = 200000) -> None:
+        if lp_solver not in ("highs", "simplex"):
+            raise ValueError(f"unknown lp_solver {lp_solver!r}")
+        self.lp_solver = lp_solver
+        self.max_nodes = max_nodes
+
+    # -- public API ---------------------------------------------------------
+
+    def solve(self, model, time_limit=None, mip_gap=None) -> SolveResult:
+        """Solve ``model``; see :meth:`repro.milp.model.Model.solve`."""
+        c, a_ub, b_ub, a_eq, b_eq, bounds, integrality = model.to_standard_form()
+        t0 = time.perf_counter()
+        result = self._branch_and_bound(
+            c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, time_limit, mip_gap
+        )
+        result.solve_time = time.perf_counter() - t0
+        result.backend = f"{self.name}/{self.lp_solver}"
+        if result.is_optimal and model.objective_sense == "max":
+            result.objective = -result.objective
+        if result.is_optimal:
+            result.objective += model.objective.constant
+            result.bound = result.objective
+        return result
+
+    # -- internals ------------------------------------------------------------
+
+    def _solve_relaxation(self, c, a_ub, b_ub, a_eq, b_eq, lo, hi):
+        """LP-relax with the configured LP engine; returns (status, obj, x)."""
+        bounds = list(zip(lo, hi))
+        if self.lp_solver == "highs":
+            res = sopt.linprog(
+                c=c,
+                A_ub=a_ub if a_ub.shape[0] else None,
+                b_ub=b_ub if a_ub.shape[0] else None,
+                A_eq=a_eq if a_eq.shape[0] else None,
+                b_eq=b_eq if a_eq.shape[0] else None,
+                bounds=bounds,
+                method="highs",
+            )
+            status = {
+                0: SolveStatus.OPTIMAL,
+                1: SolveStatus.ITERATION_LIMIT,
+                2: SolveStatus.INFEASIBLE,
+                3: SolveStatus.UNBOUNDED,
+            }.get(res.status, SolveStatus.ERROR)
+            x = np.asarray(res.x) if res.x is not None else np.empty(0)
+            obj = float(res.fun) if res.fun is not None else math.nan
+            return status, obj, x
+        lp = simplex.solve_lp(c, a_ub, b_ub, a_eq, b_eq, bounds)
+        return lp.status, lp.objective, lp.x
+
+    def _branch_and_bound(
+        self, c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, time_limit, mip_gap
+    ) -> SolveResult:
+        int_cols = np.flatnonzero(integrality)
+        lo0 = np.array([b[0] for b in bounds], dtype=float)
+        hi0 = np.array([b[1] for b in bounds], dtype=float)
+
+        status, obj, x = self._solve_relaxation(c, a_ub, b_ub, a_eq, b_eq, lo0, hi0)
+        if status is not SolveStatus.OPTIMAL:
+            return SolveResult(status=status, message="root relaxation not optimal")
+        if int_cols.size == 0:
+            return SolveResult(status=SolveStatus.OPTIMAL, objective=obj, values=x)
+
+        seq = itertools.count()
+        heap: list[_Node] = [_Node(obj, next(seq), lo0, hi0)]
+        incumbent_obj = math.inf
+        incumbent_x: np.ndarray | None = None
+        nodes_explored = 0
+        deadline = None if time_limit is None else time.perf_counter() + time_limit
+
+        while heap:
+            if deadline is not None and time.perf_counter() > deadline:
+                return self._finish(
+                    incumbent_obj, incumbent_x, nodes_explored, SolveStatus.TIME_LIMIT
+                )
+            if nodes_explored >= self.max_nodes:
+                return self._finish(
+                    incumbent_obj,
+                    incumbent_x,
+                    nodes_explored,
+                    SolveStatus.ITERATION_LIMIT,
+                )
+            node = heapq.heappop(heap)
+            if node.bound >= incumbent_obj - 1e-12:
+                continue  # pruned by bound
+            status, obj, x = self._solve_relaxation(
+                c, a_ub, b_ub, a_eq, b_eq, node.lo, node.hi
+            )
+            nodes_explored += 1
+            if status is not SolveStatus.OPTIMAL or obj >= incumbent_obj - 1e-12:
+                continue
+            frac_col = self._most_fractional(x, int_cols)
+            if frac_col is None:
+                incumbent_obj = obj
+                incumbent_x = x
+                if mip_gap is not None and heap:
+                    best_bound = min(n.bound for n in heap)
+                    gap = abs(incumbent_obj - best_bound) / max(1.0, abs(incumbent_obj))
+                    if gap <= mip_gap:
+                        break
+                continue
+            val = x[frac_col]
+            lo_child = node.lo.copy()
+            hi_child = node.hi.copy()
+            hi_child[frac_col] = math.floor(val)
+            if lo_child[frac_col] <= hi_child[frac_col]:
+                heapq.heappush(heap, _Node(obj, next(seq), lo_child, hi_child))
+            lo_child2 = node.lo.copy()
+            hi_child2 = node.hi.copy()
+            lo_child2[frac_col] = math.ceil(val)
+            if lo_child2[frac_col] <= hi_child2[frac_col]:
+                heapq.heappush(heap, _Node(obj, next(seq), lo_child2, hi_child2))
+
+        return self._finish(
+            incumbent_obj, incumbent_x, nodes_explored, SolveStatus.INFEASIBLE
+        )
+
+    @staticmethod
+    def _most_fractional(x: np.ndarray, int_cols: np.ndarray) -> int | None:
+        """Column with fractional part closest to 0.5, or None if integral."""
+        best_col = None
+        best_frac_dist = _INT_TOL  # distance from the nearest integer
+        for col in int_cols:
+            frac_dist = abs(x[col] - round(x[col]))
+            if frac_dist > best_frac_dist:
+                best_frac_dist = frac_dist
+                best_col = int(col)
+        return best_col
+
+    @staticmethod
+    def _finish(obj, x, nodes, fail_status) -> SolveResult:
+        """Wrap up: report the incumbent if any, else the failure status."""
+        if x is not None:
+            status = (
+                SolveStatus.OPTIMAL
+                if fail_status is SolveStatus.INFEASIBLE
+                else fail_status
+            )
+            return SolveResult(
+                status=status, objective=obj, values=x, nodes=nodes
+            )
+        return SolveResult(status=fail_status, nodes=nodes)

@@ -1,0 +1,310 @@
+"""The :class:`Model` container: variables, constraints, objective, solve."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.milp.expr import LinExpr, Number, Var, VType
+from repro.milp.solution import SolveResult, SolveStatus
+
+_model_counter = itertools.count()
+
+
+class Sense(enum.Enum):
+    """Constraint sense."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+class Constraint:
+    """A linear constraint ``expr (<=|>=|==) 0`` in normalized form.
+
+    Stored internally as ``lhs_expr sense rhs_const`` with the constant
+    moved to the right-hand side, i.e. ``sum c_i x_i  sense  rhs``.
+    """
+
+    __slots__ = ("expr", "sense", "rhs", "name")
+
+    def __init__(self, expr: LinExpr, sense: Sense, rhs: float, name: str = "") -> None:
+        self.expr = expr
+        self.sense = sense
+        self.rhs = float(rhs)
+        self.name = name
+
+    @classmethod
+    def _from_sides(cls, lhs: LinExpr, rhs: LinExpr, sense: Sense) -> "Constraint":
+        diff = lhs - rhs
+        const = diff.constant
+        diff.constant = 0.0
+        return cls(diff, sense, -const)
+
+    def violation(self, assignment) -> float:
+        """Amount by which the constraint is violated (0 when satisfied)."""
+        lhs = self.expr.value(assignment)
+        if self.sense is Sense.LE:
+            return max(0.0, lhs - self.rhs)
+        if self.sense is Sense.GE:
+            return max(0.0, self.rhs - lhs)
+        return abs(lhs - self.rhs)
+
+    def __repr__(self) -> str:
+        label = f"[{self.name}] " if self.name else ""
+        return f"{label}{self.expr!r} {self.sense.value} {self.rhs:g}"
+
+
+class Model:
+    """A mixed-integer linear program under construction.
+
+    The model owns its variables; expressions and constraints reference
+    them by index.  Solving delegates to a pluggable backend (HiGHS via
+    scipy by default, or the pure-Python branch-and-bound solver).
+    """
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self._id = next(_model_counter)
+        self.variables: list[Var] = []
+        self.constraints: list[Constraint] = []
+        self.objective: LinExpr = LinExpr.constant_expr(0.0)
+        self.objective_sense: str = "min"
+        self._names: set[str] = set()
+
+    # -- variables -------------------------------------------------------
+
+    def add_var(
+        self,
+        lb: float = 0.0,
+        ub: float = math.inf,
+        name: str | None = None,
+        vtype: VType | str = VType.CONTINUOUS,
+    ) -> Var:
+        """Create and register a new decision variable.
+
+        Args:
+            lb: Lower bound; use ``-math.inf`` for a free variable.
+            ub: Upper bound.
+            name: Optional unique name; auto-generated when omitted.
+            vtype: ``"continuous"``, ``"binary"`` or ``"integer"``.
+
+        Returns:
+            The new :class:`Var`.
+        """
+        vtype = VType.coerce(vtype)
+        if vtype is VType.BINARY:
+            lb = max(0.0, lb)
+            ub = min(1.0, ub)
+        index = len(self.variables)
+        if name is None:
+            name = f"v{index}"
+        if name in self._names:
+            name = f"{name}#{index}"
+        self._names.add(name)
+        var = Var(index, name, lb, ub, vtype, self._id)
+        self.variables.append(var)
+        return var
+
+    def add_vars(
+        self,
+        count: int,
+        lb: float = 0.0,
+        ub: float = math.inf,
+        prefix: str = "v",
+        vtype: VType | str = VType.CONTINUOUS,
+    ) -> list[Var]:
+        """Create ``count`` variables sharing bounds and type."""
+        return [
+            self.add_var(lb=lb, ub=ub, name=f"{prefix}[{j}]", vtype=vtype)
+            for j in range(count)
+        ]
+
+    @property
+    def num_vars(self) -> int:
+        """Number of variables in the model."""
+        return len(self.variables)
+
+    @property
+    def num_binary(self) -> int:
+        """Number of binary/integer variables."""
+        return sum(1 for v in self.variables if v.vtype is not VType.CONTINUOUS)
+
+    # -- constraints ------------------------------------------------------
+
+    def add_constr(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Register a constraint built via expression comparisons."""
+        if not isinstance(constraint, Constraint):
+            raise TypeError(
+                "add_constr expects a Constraint (use <=, >= or == on expressions)"
+            )
+        if name:
+            constraint.name = name
+        self.constraints.append(constraint)
+        return constraint
+
+    def add_constrs(self, constraints: Iterable[Constraint]) -> list[Constraint]:
+        """Register several constraints at once."""
+        return [self.add_constr(c) for c in constraints]
+
+    @property
+    def num_constrs(self) -> int:
+        """Number of registered linear constraints."""
+        return len(self.constraints)
+
+    # -- objective --------------------------------------------------------
+
+    def set_objective(self, expr: LinExpr | Var | Number, sense: str = "min") -> None:
+        """Set the objective function and its direction.
+
+        Args:
+            expr: Affine objective.
+            sense: ``"min"`` or ``"max"``.
+        """
+        if sense not in ("min", "max"):
+            raise ValueError(f"objective sense must be 'min' or 'max', got {sense!r}")
+        self.objective = LinExpr._as_expr(expr)
+        self.objective_sense = sense
+
+    # -- matrix form -------------------------------------------------------
+
+    def to_standard_form(self):
+        """Export ``(c, A_ub, b_ub, A_eq, b_eq, bounds, integrality)``.
+
+        The objective vector ``c`` is always stated for *minimization*;
+        callers must negate the optimum when ``objective_sense == 'max'``
+        (the backends do this).  Matrices are dense ``numpy`` arrays,
+        which is adequate for the sub-network problems this repository
+        solves (a few thousand columns at most).
+        """
+        n = self.num_vars
+        c = np.zeros(n)
+        for idx, coef in self.objective.coeffs.items():
+            c[idx] = coef
+        if self.objective_sense == "max":
+            c = -c
+
+        ub_rows: list[tuple[dict[int, float], float]] = []
+        eq_rows: list[tuple[dict[int, float], float]] = []
+        for con in self.constraints:
+            if con.sense is Sense.LE:
+                ub_rows.append((con.expr.coeffs, con.rhs))
+            elif con.sense is Sense.GE:
+                neg = {i: -v for i, v in con.expr.coeffs.items()}
+                ub_rows.append((neg, -con.rhs))
+            else:
+                eq_rows.append((con.expr.coeffs, con.rhs))
+
+        def build(rows):
+            mat = np.zeros((len(rows), n))
+            vec = np.zeros(len(rows))
+            for r, (coeffs, rhs) in enumerate(rows):
+                for idx, coef in coeffs.items():
+                    mat[r, idx] = coef
+                vec[r] = rhs
+            return mat, vec
+
+        a_ub, b_ub = build(ub_rows)
+        a_eq, b_eq = build(eq_rows)
+        bounds = [(v.lb, v.ub) for v in self.variables]
+        integrality = np.array(
+            [0 if v.vtype is VType.CONTINUOUS else 1 for v in self.variables],
+            dtype=int,
+        )
+        return c, a_ub, b_ub, a_eq, b_eq, bounds, integrality
+
+    # -- solving ------------------------------------------------------------
+
+    def solve(
+        self,
+        backend: str = "scipy",
+        time_limit: float | None = None,
+        mip_gap: float | None = None,
+    ) -> SolveResult:
+        """Solve the model with the requested backend.
+
+        Args:
+            backend: ``"scipy"`` (HiGHS) or ``"python"`` (own
+                branch-and-bound over HiGHS/simplex LP relaxations).
+            time_limit: Optional wall-clock limit in seconds.
+            mip_gap: Optional relative MIP gap termination tolerance.
+
+        Returns:
+            A :class:`~repro.milp.solution.SolveResult`.
+        """
+        from repro.milp.backend import get_backend
+
+        return get_backend(backend).solve(self, time_limit=time_limit, mip_gap=mip_gap)
+
+    def solve_many(
+        self,
+        objectives: Sequence[tuple[LinExpr | Var, str]],
+        backend: str = "scipy",
+        time_limit: float | None = None,
+    ) -> list[SolveResult]:
+        """Solve the same constraint system under several objectives.
+
+        The constraint matrices are exported once and reused, which is
+        the hot path of Algorithm 1 (four objectives per neuron over one
+        sub-network encoding).
+
+        Args:
+            objectives: Pairs ``(expression, "min"|"max")``.
+            backend: Backend name (multi-objective fast path exists for
+                scipy; others fall back to repeated solves).
+            time_limit: Per-solve time limit.
+
+        Returns:
+            One :class:`SolveResult` per objective, in order.
+        """
+        from repro.milp.backend import get_backend
+
+        solver = get_backend(backend)
+        if hasattr(solver, "solve_objectives"):
+            return solver.solve_objectives(self, objectives, time_limit=time_limit)
+        results = []
+        saved = (self.objective, self.objective_sense)
+        try:
+            for expr, sense in objectives:
+                self.set_objective(expr, sense=sense)
+                results.append(solver.solve(self, time_limit=time_limit))
+        finally:
+            self.objective, self.objective_sense = saved
+        return results
+
+    def relaxed(self) -> "Model":
+        """Return a copy with all integrality requirements dropped."""
+        clone = Model(f"{self.name}_relaxed")
+        for var in self.variables:
+            clone.add_var(lb=var.lb, ub=var.ub, name=var.name, vtype=VType.CONTINUOUS)
+        clone.constraints = [
+            Constraint(c.expr.copy(), c.sense, c.rhs, c.name) for c in self.constraints
+        ]
+        clone.objective = self.objective.copy()
+        clone.objective_sense = self.objective_sense
+        return clone
+
+    # -- validation ----------------------------------------------------------
+
+    def check_feasible(self, values: Sequence[float], tol: float = 1e-6) -> bool:
+        """Check a full assignment against bounds and all constraints."""
+        if len(values) != self.num_vars:
+            raise ValueError("assignment length does not match variable count")
+        assignment = {i: float(v) for i, v in enumerate(values)}
+        for var in self.variables:
+            val = assignment[var.index]
+            if val < var.lb - tol or val > var.ub + tol:
+                return False
+            if var.vtype is not VType.CONTINUOUS and abs(val - round(val)) > tol:
+                return False
+        return all(con.violation(assignment) <= tol for con in self.constraints)
+
+    def __repr__(self) -> str:
+        return (
+            f"Model({self.name!r}, vars={self.num_vars}, "
+            f"int={self.num_binary}, constrs={self.num_constrs})"
+        )

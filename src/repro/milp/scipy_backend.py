@@ -1,0 +1,170 @@
+"""Backend that compiles models to scipy's HiGHS LP/MILP solvers."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import scipy.optimize as sopt
+import scipy.sparse as sparse
+
+from repro.milp.solution import SolveResult, SolveStatus
+
+_MILP_STATUS = {
+    0: SolveStatus.OPTIMAL,
+    1: SolveStatus.ITERATION_LIMIT,
+    2: SolveStatus.INFEASIBLE,
+    3: SolveStatus.UNBOUNDED,
+    4: SolveStatus.ERROR,
+}
+
+_LINPROG_STATUS = {
+    0: SolveStatus.OPTIMAL,
+    1: SolveStatus.ITERATION_LIMIT,
+    2: SolveStatus.INFEASIBLE,
+    3: SolveStatus.UNBOUNDED,
+    4: SolveStatus.ERROR,
+}
+
+
+class ScipyBackend:
+    """Solve models with ``scipy.optimize.milp``/``linprog`` (HiGHS).
+
+    Pure LPs are routed to ``linprog`` which avoids the MILP layer's
+    presolve overhead; anything with integrality uses ``milp``.
+    """
+
+    name = "scipy"
+
+    def solve(self, model, time_limit=None, mip_gap=None) -> SolveResult:
+        """Solve ``model`` and return a harmonized :class:`SolveResult`."""
+        c, a_ub, b_ub, a_eq, b_eq, bounds, integrality = model.to_standard_form()
+        t0 = time.perf_counter()
+        if integrality.any():
+            result = self._solve_milp(
+                c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, time_limit, mip_gap
+            )
+        else:
+            result = self._solve_lp(c, a_ub, b_ub, a_eq, b_eq, bounds, time_limit)
+        result.solve_time = time.perf_counter() - t0
+        result.backend = self.name
+        # The bound transform applies whenever a finite dual bound exists
+        # (time-limited MILPs included), not only on proven optimality.
+        if model.objective_sense == "max":
+            if result.is_optimal:
+                result.objective = -result.objective
+            result.bound = -result.bound
+        if result.is_optimal:
+            result.objective += model.objective.constant
+        result.bound += model.objective.constant
+        return result
+
+    def solve_objectives(self, model, objectives, time_limit=None) -> list[SolveResult]:
+        """Multi-objective fast path: export matrices once, swap ``c``.
+
+        Args:
+            model: The model whose constraints are shared.
+            objectives: Pairs ``(expression, "min"|"max")``.
+            time_limit: Per-solve limit in seconds.
+        """
+        _, a_ub, b_ub, a_eq, b_eq, bounds, integrality = model.to_standard_form()
+        n = model.num_vars
+        results = []
+        for expr, sense in objectives:
+            from repro.milp.expr import LinExpr, Var
+
+            expr = expr.to_expr() if isinstance(expr, Var) else expr
+            c = np.zeros(n)
+            for idx, coef in expr.coeffs.items():
+                c[idx] = coef
+            if sense == "max":
+                c = -c
+            elif sense != "min":
+                raise ValueError(f"bad sense {sense!r}")
+            t0 = time.perf_counter()
+            if integrality.any():
+                res = self._solve_milp(
+                    c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, time_limit, None
+                )
+            else:
+                res = self._solve_lp(c, a_ub, b_ub, a_eq, b_eq, bounds, time_limit)
+            res.solve_time = time.perf_counter() - t0
+            res.backend = self.name
+            if sense == "max":
+                if res.is_optimal:
+                    res.objective = -res.objective
+                res.bound = -res.bound
+            if res.is_optimal:
+                res.objective += expr.constant
+            res.bound += expr.constant
+            results.append(res)
+        return results
+
+    @staticmethod
+    def _solve_milp(
+        c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, time_limit, mip_gap
+    ) -> SolveResult:
+        constraints = []
+        if a_ub.shape[0]:
+            constraints.append(
+                sopt.LinearConstraint(sparse.csr_matrix(a_ub), -np.inf, b_ub)
+            )
+        if a_eq.shape[0]:
+            constraints.append(
+                sopt.LinearConstraint(sparse.csr_matrix(a_eq), b_eq, b_eq)
+            )
+        lo = np.array([b[0] for b in bounds])
+        hi = np.array([b[1] for b in bounds])
+        options: dict = {"presolve": True}
+        if time_limit is not None:
+            options["time_limit"] = float(time_limit)
+        if mip_gap is not None:
+            options["mip_rel_gap"] = float(mip_gap)
+        res = sopt.milp(
+            c=c,
+            constraints=constraints,
+            integrality=integrality,
+            bounds=sopt.Bounds(lo, hi),
+            options=options,
+        )
+        status = _MILP_STATUS.get(res.status, SolveStatus.ERROR)
+        if status is SolveStatus.ITERATION_LIMIT and time_limit is not None:
+            status = SolveStatus.TIME_LIMIT
+        values = np.asarray(res.x) if res.x is not None else np.empty(0)
+        objective = float(res.fun) if res.fun is not None else float("nan")
+        dual = getattr(res, "mip_dual_bound", None)
+        bound = float(dual) if dual is not None else objective
+        return SolveResult(
+            status=status,
+            objective=objective,
+            values=values,
+            nodes=int(getattr(res, "mip_node_count", 0) or 0),
+            message=str(res.message),
+            bound=bound,
+        )
+
+    @staticmethod
+    def _solve_lp(c, a_ub, b_ub, a_eq, b_eq, bounds, time_limit) -> SolveResult:
+        options: dict = {"presolve": True}
+        if time_limit is not None:
+            options["time_limit"] = float(time_limit)
+        res = sopt.linprog(
+            c=c,
+            A_ub=sparse.csr_matrix(a_ub) if a_ub.shape[0] else None,
+            b_ub=b_ub if a_ub.shape[0] else None,
+            A_eq=sparse.csr_matrix(a_eq) if a_eq.shape[0] else None,
+            b_eq=b_eq if a_eq.shape[0] else None,
+            bounds=bounds,
+            method="highs",
+            options=options,
+        )
+        status = _LINPROG_STATUS.get(res.status, SolveStatus.ERROR)
+        values = np.asarray(res.x) if res.x is not None else np.empty(0)
+        objective = float(res.fun) if res.fun is not None else float("nan")
+        return SolveResult(
+            status=status,
+            objective=objective,
+            values=values,
+            message=str(res.message),
+            bound=objective,
+        )

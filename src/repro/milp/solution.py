@@ -1,0 +1,77 @@
+"""Solve results and status codes shared by every MILP backend."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of a solve call, harmonized across backends."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    TIME_LIMIT = "time_limit"
+    ITERATION_LIMIT = "iteration_limit"
+    ERROR = "error"
+
+
+@dataclass
+class SolveResult:
+    """Solution returned by a backend.
+
+    Attributes:
+        status: Harmonized solver status.
+        objective: Objective value in the *user's* sense (max problems
+            report the maximum, not the negated minimum).
+        values: Array of variable values in column order (empty when no
+            incumbent exists).
+        backend: Name of the backend that produced the result.
+        solve_time: Wall-clock seconds spent inside the backend.
+        nodes: Branch-and-bound nodes explored (0 for pure LPs).
+        message: Backend-specific diagnostic text.
+    """
+
+    status: SolveStatus
+    objective: float = float("nan")
+    values: np.ndarray = field(default_factory=lambda: np.empty(0))
+    backend: str = ""
+    solve_time: float = 0.0
+    nodes: int = 0
+    message: str = ""
+    # Sound objective bound: for MILPs solved to a gap, the incumbent
+    # `objective` may under-shoot the true optimum; `bound` is always on
+    # the safe side (>= true max for maximization, <= true min for
+    # minimization).  Equals `objective` for LPs and gap-free solves.
+    bound: float = float("nan")
+
+    @property
+    def is_optimal(self) -> bool:
+        """True when the solver proved optimality."""
+        return self.status is SolveStatus.OPTIMAL
+
+    def __getitem__(self, var) -> float:
+        """Value of a :class:`~repro.milp.expr.Var` or expression."""
+        from repro.milp.expr import LinExpr, Var
+
+        if self.values.size == 0:
+            raise ValueError(f"no solution available (status={self.status.value})")
+        if isinstance(var, Var):
+            return float(self.values[var.index])
+        if isinstance(var, LinExpr):
+            total = var.constant
+            for idx, coef in var.coeffs.items():
+                total += coef * self.values[idx]
+            return float(total)
+        raise TypeError(f"cannot index solution with {var!r}")
+
+    def require_optimal(self) -> "SolveResult":
+        """Return self, raising if the solve did not reach optimality."""
+        if not self.is_optimal:
+            raise RuntimeError(
+                f"solve failed: status={self.status.value} ({self.message})"
+            )
+        return self

@@ -1,0 +1,52 @@
+"""Minimal-yet-complete neural network substrate (numpy only).
+
+This package replaces the paper's TensorFlow dependency.  It supports the
+layer types the paper certifies — fully-connected, convolutional, average
+pooling, flatten, and affine normalization, each with an optional ReLU —
+with batched forward inference, reverse-mode autodiff, training loops
+(SGD/Adam, MSE/cross-entropy), and (de)serialization.
+
+The certification pipeline consumes networks through
+:meth:`repro.nn.network.Network.to_affine_layers`, which materializes the
+model as a chain of affine transforms ``y = W x + b`` with per-layer ReLU
+flags — exactly the form assumed in §II-A of the paper.
+"""
+
+from repro.nn.affine import AffineLayer, merge_affine_chain
+from repro.nn.layers import AvgPool2D, Conv2D, Dense, Flatten, Layer, Normalize
+from repro.nn.lipschitz import (
+    linf_gain_upper_bound,
+    make_row_norm_projector,
+    project_row_norms,
+)
+from repro.nn.losses import Loss, MeanSquaredError, SoftmaxCrossEntropy
+from repro.nn.network import Network
+from repro.nn.optimizers import SGD, Adam, Optimizer
+from repro.nn.serialize import load_network, save_network
+from repro.nn.train import TrainConfig, TrainHistory, train
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "AvgPool2D",
+    "Flatten",
+    "Normalize",
+    "Network",
+    "AffineLayer",
+    "merge_affine_chain",
+    "Loss",
+    "MeanSquaredError",
+    "SoftmaxCrossEntropy",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "train",
+    "TrainConfig",
+    "TrainHistory",
+    "save_network",
+    "load_network",
+    "project_row_norms",
+    "make_row_norm_projector",
+    "linf_gain_upper_bound",
+]

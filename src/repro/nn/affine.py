@@ -1,0 +1,117 @@
+"""Canonical affine-chain form of a network.
+
+The certifier, the interval propagators and the MILP encoders all consume
+networks in the paper's §II-A normal form: a sequence of layers, each a
+dense affine transform over flattened vectors with an optional ReLU,
+
+    y(i) = W(i) x(i-1) + b(i),     x(i) = relu(y(i)) or y(i).
+
+:class:`AffineLayer` is that normal form; :func:`merge_affine_chain`
+collapses consecutive purely-linear stages (Flatten, AvgPool, Normalize,
+linear Conv/Dense with no ReLU) so that every remaining layer boundary is
+a genuine nonlinearity — this keeps the twin-network MILPs as small as
+possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class AffineLayer:
+    """One normal-form layer ``y = weight @ x + bias`` (+ optional ReLU).
+
+    Attributes:
+        weight: ``(m_out, m_in)`` matrix.
+        bias: ``(m_out,)`` vector.
+        relu: Whether a ReLU follows.
+        name: Optional provenance label (e.g. ``"conv1+pool"``).
+    """
+
+    weight: np.ndarray
+    bias: np.ndarray
+    relu: bool
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.weight = np.asarray(self.weight, dtype=float)
+        self.bias = np.asarray(self.bias, dtype=float)
+        if self.weight.ndim != 2:
+            raise ValueError("AffineLayer weight must be a matrix")
+        if self.bias.shape != (self.weight.shape[0],):
+            raise ValueError(
+                f"bias shape {self.bias.shape} does not match weight rows "
+                f"{self.weight.shape[0]}"
+            )
+
+    @property
+    def in_dim(self) -> int:
+        """Input dimension."""
+        return self.weight.shape[1]
+
+    @property
+    def out_dim(self) -> int:
+        """Output dimension."""
+        return self.weight.shape[0]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply the layer to flat sample(s); last axis is features."""
+        y = x @ self.weight.T + self.bias
+        return np.maximum(y, 0.0) if self.relu else y
+
+    def pre_activation(self, x: np.ndarray) -> np.ndarray:
+        """Linear part only."""
+        return x @ self.weight.T + self.bias
+
+
+def merge_affine_chain(layers: list[AffineLayer]) -> list[AffineLayer]:
+    """Collapse consecutive layers with no intervening ReLU.
+
+    ``W2 (W1 x + b1) + b2 = (W2 W1) x + (W2 b1 + b2)`` — exact, so the
+    merged chain computes the identical function with fewer (and only
+    ReLU-separated) stages.
+
+    Returns:
+        A new list; inputs are not mutated.
+    """
+    merged: list[AffineLayer] = []
+    for layer in layers:
+        if merged and not merged[-1].relu:
+            prev = merged.pop()
+            combined = AffineLayer(
+                weight=layer.weight @ prev.weight,
+                bias=layer.weight @ prev.bias + layer.bias,
+                relu=layer.relu,
+                name=f"{prev.name}+{layer.name}".strip("+"),
+            )
+            merged.append(combined)
+        else:
+            merged.append(
+                AffineLayer(layer.weight.copy(), layer.bias.copy(), layer.relu, layer.name)
+            )
+    return merged
+
+
+def affine_chain_forward(layers: list[AffineLayer], x: np.ndarray) -> np.ndarray:
+    """Run flat sample(s) through an affine chain."""
+    out = np.asarray(x, dtype=float)
+    for layer in layers:
+        out = layer.forward(out)
+    return out
+
+
+def chain_dims(layers: list[AffineLayer]) -> list[int]:
+    """[m0, m1, ..., mn] dimensions along the chain, validating joints."""
+    if not layers:
+        raise ValueError("empty affine chain")
+    dims = [layers[0].in_dim]
+    for i, layer in enumerate(layers):
+        if layer.in_dim != dims[-1]:
+            raise ValueError(
+                f"layer {i} expects {layer.in_dim} inputs but receives {dims[-1]}"
+            )
+        dims.append(layer.out_dim)
+    return dims

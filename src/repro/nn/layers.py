@@ -1,0 +1,405 @@
+"""Layer zoo: Dense, Conv2D, AvgPool2D, Flatten, Normalize.
+
+Every layer follows the paper's §II-A model: a linear transformation
+``y = W x + b`` optionally followed by an element-wise ReLU.  Layers are
+batched (leading axis is the batch) and implement reverse-mode autodiff
+via ``backward``.  Layers also know how to materialize themselves as a
+dense affine map over flattened inputs (``as_affine``), which is what the
+MILP encoders and interval propagators consume.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+Shape = tuple[int, ...]
+
+
+def _relu(y: np.ndarray) -> np.ndarray:
+    return np.maximum(y, 0.0)
+
+
+class Layer:
+    """Base class for all layers.
+
+    Subclasses implement ``_linear_forward`` / ``_linear_backward`` for
+    the affine part; ReLU handling is shared here.
+
+    Attributes:
+        relu: Whether an element-wise ReLU follows the linear transform.
+    """
+
+    def __init__(self, relu: bool = False) -> None:
+        self.relu = bool(relu)
+        self._cache_y: np.ndarray | None = None
+
+    # -- shape plumbing ----------------------------------------------------
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        """Shape of one output sample for a given input sample shape."""
+        raise NotImplementedError
+
+    # -- inference -----------------------------------------------------------
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Apply the layer to a batch ``x`` (leading axis = batch)."""
+        y = self._linear_forward(x)
+        if training:
+            self._cache_y = y
+        return _relu(y) if self.relu else y
+
+    def pre_activation(self, x: np.ndarray) -> np.ndarray:
+        """Linear output ``y = W x + b`` without the ReLU."""
+        return self._linear_forward(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Back-propagate ``dL/d(output)`` to ``dL/d(input)``.
+
+        Must be called after ``forward(..., training=True)``; parameter
+        gradients are accumulated into ``self.grads``.
+        """
+        if self.relu:
+            if self._cache_y is None:
+                raise RuntimeError("backward called before forward(training=True)")
+            grad_out = grad_out * (self._cache_y > 0)
+        return self._linear_backward(grad_out)
+
+    # -- parameters ------------------------------------------------------------
+
+    @property
+    def params(self) -> dict[str, np.ndarray]:
+        """Trainable parameter arrays by name (may be empty)."""
+        return {}
+
+    @property
+    def grads(self) -> dict[str, np.ndarray]:
+        """Parameter gradients matching :attr:`params` keys."""
+        return {}
+
+    # -- affine materialization ---------------------------------------------------
+
+    def as_affine(self, input_shape: Shape) -> tuple[np.ndarray, np.ndarray]:
+        """Dense ``(W, b)`` with ``flat_out = W @ flat_in + b``.
+
+        Flattening is C-order over the sample shape (batch excluded).
+        """
+        raise NotImplementedError
+
+    # -- internals ---------------------------------------------------------------
+
+    def _linear_forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _linear_backward(self, grad_y: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class Dense(Layer):
+    """Fully-connected layer ``y = x @ W.T + b``.
+
+    Args:
+        in_features: Input dimension.
+        out_features: Output dimension.
+        relu: Apply ReLU after the affine map.
+        rng: Generator used for He-uniform initialization.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        relu: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(relu)
+        rng = rng or np.random.default_rng()
+        limit = math.sqrt(6.0 / in_features)
+        self.weight = rng.uniform(-limit, limit, size=(out_features, in_features))
+        self.bias = np.zeros(out_features)
+        self._grad_w = np.zeros_like(self.weight)
+        self._grad_b = np.zeros_like(self.bias)
+        self._cache_x: np.ndarray | None = None
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        expected = (self.weight.shape[1],)
+        if tuple(input_shape) != expected:
+            raise ValueError(
+                f"Dense expects input shape {expected}, got {tuple(input_shape)}"
+            )
+        return (self.weight.shape[0],)
+
+    def _linear_forward(self, x: np.ndarray) -> np.ndarray:
+        self._cache_x = x
+        return x @ self.weight.T + self.bias
+
+    def _linear_backward(self, grad_y: np.ndarray) -> np.ndarray:
+        if self._cache_x is None:
+            raise RuntimeError("backward called before forward")
+        self._grad_w[...] = grad_y.T @ self._cache_x
+        self._grad_b[...] = grad_y.sum(axis=0)
+        return grad_y @ self.weight
+
+    @property
+    def params(self) -> dict[str, np.ndarray]:
+        return {"weight": self.weight, "bias": self.bias}
+
+    @property
+    def grads(self) -> dict[str, np.ndarray]:
+        return {"weight": self._grad_w, "bias": self._grad_b}
+
+    def as_affine(self, input_shape: Shape) -> tuple[np.ndarray, np.ndarray]:
+        self.output_shape(input_shape)
+        return self.weight.copy(), self.bias.copy()
+
+
+class Conv2D(Layer):
+    """2-D convolution (NCHW layout, 'valid' or integer zero padding).
+
+    Args:
+        in_channels: Input channel count.
+        out_channels: Number of filters.
+        kernel_size: Square kernel edge or ``(kh, kw)``.
+        stride: Step between applications.
+        padding: Symmetric zero padding.
+        relu: Apply ReLU after convolution.
+        rng: Generator for He-uniform initialization.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int | tuple[int, int] = 3,
+        stride: int = 1,
+        padding: int = 0,
+        relu: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(relu)
+        if isinstance(kernel_size, int):
+            kernel_size = (kernel_size, kernel_size)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = int(stride)
+        self.padding = int(padding)
+        rng = rng or np.random.default_rng()
+        fan_in = in_channels * kernel_size[0] * kernel_size[1]
+        limit = math.sqrt(6.0 / fan_in)
+        self.weight = rng.uniform(
+            -limit, limit, size=(out_channels, in_channels, *kernel_size)
+        )
+        self.bias = np.zeros(out_channels)
+        self._grad_w = np.zeros_like(self.weight)
+        self._grad_b = np.zeros_like(self.bias)
+        self._cache_cols: np.ndarray | None = None
+        self._cache_in_shape: Shape | None = None
+
+    # -- geometry -------------------------------------------------------------
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        c, h, w = input_shape
+        if c != self.in_channels:
+            raise ValueError(
+                f"Conv2D expects {self.in_channels} channels, got {c}"
+            )
+        kh, kw = self.kernel_size
+        oh = (h + 2 * self.padding - kh) // self.stride + 1
+        ow = (w + 2 * self.padding - kw) // self.stride + 1
+        if oh <= 0 or ow <= 0:
+            raise ValueError(f"kernel {self.kernel_size} too large for input {input_shape}")
+        return (self.out_channels, oh, ow)
+
+    def _im2col(self, x: np.ndarray) -> np.ndarray:
+        """(N, C, H, W) -> (N, oh*ow, C*kh*kw) patch matrix."""
+        n, c, h, w = x.shape
+        kh, kw = self.kernel_size
+        p, s = self.padding, self.stride
+        if p:
+            x = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)))
+        oh = (h + 2 * p - kh) // s + 1
+        ow = (w + 2 * p - kw) // s + 1
+        windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+        windows = windows[:, :, ::s, ::s, :, :]  # (N, C, oh, ow, kh, kw)
+        cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n, oh * ow, c * kh * kw)
+        return cols
+
+    def _linear_forward(self, x: np.ndarray) -> np.ndarray:
+        n = x.shape[0]
+        _, oh, ow = self.output_shape(x.shape[1:])
+        cols = self._im2col(x)
+        self._cache_cols = cols
+        self._cache_in_shape = x.shape
+        w_mat = self.weight.reshape(self.out_channels, -1)
+        out = cols @ w_mat.T + self.bias  # (N, oh*ow, out_ch)
+        return out.transpose(0, 2, 1).reshape(n, self.out_channels, oh, ow)
+
+    def _linear_backward(self, grad_y: np.ndarray) -> np.ndarray:
+        if self._cache_cols is None or self._cache_in_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, _, oh, ow = grad_y.shape
+        g = grad_y.reshape(n, self.out_channels, oh * ow).transpose(0, 2, 1)
+        w_mat = self.weight.reshape(self.out_channels, -1)
+        self._grad_w[...] = (
+            np.einsum("npo,npk->ok", g, self._cache_cols).reshape(self.weight.shape)
+        )
+        self._grad_b[...] = g.sum(axis=(0, 1))
+        grad_cols = g @ w_mat  # (N, oh*ow, C*kh*kw)
+        return self._col2im(grad_cols)
+
+    def _col2im(self, grad_cols: np.ndarray) -> np.ndarray:
+        """Scatter-add column gradients back to the (padded) input."""
+        n, c, h, w = self._cache_in_shape
+        kh, kw = self.kernel_size
+        p, s = self.padding, self.stride
+        hp, wp = h + 2 * p, w + 2 * p
+        oh = (hp - kh) // s + 1
+        ow = (wp - kw) // s + 1
+        grad_x = np.zeros((n, c, hp, wp))
+        patches = grad_cols.reshape(n, oh, ow, c, kh, kw)
+        for i in range(oh):
+            for j in range(ow):
+                grad_x[:, :, i * s : i * s + kh, j * s : j * s + kw] += patches[
+                    :, i, j
+                ]
+        if p:
+            grad_x = grad_x[:, :, p:-p, p:-p]
+        return grad_x
+
+    @property
+    def params(self) -> dict[str, np.ndarray]:
+        return {"weight": self.weight, "bias": self.bias}
+
+    @property
+    def grads(self) -> dict[str, np.ndarray]:
+        return {"weight": self._grad_w, "bias": self._grad_b}
+
+    def as_affine(self, input_shape: Shape) -> tuple[np.ndarray, np.ndarray]:
+        """Materialize the convolution as a dense matrix over flat input."""
+        c, h, w = input_shape
+        out_shape = self.output_shape(input_shape)
+        m_in = c * h * w
+        m_out = int(np.prod(out_shape))
+        big_w = np.zeros((m_out, m_in))
+        big_b = np.zeros(m_out)
+        # Drive the forward pass with basis vectors channel-batched for
+        # clarity over speed; certification networks are small.
+        eye = np.eye(m_in)
+        basis = eye.reshape(m_in, c, h, w)
+        zero = np.zeros((1, c, h, w))
+        response = self.pre_activation(basis)  # (m_in, *out_shape)
+        offset = self.pre_activation(zero)[0]
+        big_b[...] = offset.reshape(-1)
+        big_w[...] = (response.reshape(m_in, m_out) - big_b).T
+        return big_w, big_b
+
+
+class AvgPool2D(Layer):
+    """Average pooling with square window and matching stride."""
+
+    def __init__(self, pool_size: int = 2, relu: bool = False) -> None:
+        super().__init__(relu)
+        self.pool_size = int(pool_size)
+        self._cache_in_shape: Shape | None = None
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        c, h, w = input_shape
+        k = self.pool_size
+        if h % k or w % k:
+            raise ValueError(
+                f"AvgPool2D({k}) requires dims divisible by {k}, got {input_shape}"
+            )
+        return (c, h // k, w // k)
+
+    def _linear_forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k = self.pool_size
+        self._cache_in_shape = x.shape
+        return x.reshape(n, c, h // k, k, w // k, k).mean(axis=(3, 5))
+
+    def _linear_backward(self, grad_y: np.ndarray) -> np.ndarray:
+        if self._cache_in_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._cache_in_shape
+        k = self.pool_size
+        grad = grad_y / (k * k)
+        grad = np.repeat(np.repeat(grad, k, axis=2), k, axis=3)
+        return grad
+
+    def as_affine(self, input_shape: Shape) -> tuple[np.ndarray, np.ndarray]:
+        c, h, w = input_shape
+        out_shape = self.output_shape(input_shape)
+        m_in = c * h * w
+        m_out = int(np.prod(out_shape))
+        k = self.pool_size
+        big_w = np.zeros((m_out, m_in))
+        in_idx = np.arange(m_in).reshape(c, h, w)
+        out_idx = np.arange(m_out).reshape(out_shape)
+        for ci in range(c):
+            for oi in range(out_shape[1]):
+                for oj in range(out_shape[2]):
+                    block = in_idx[ci, oi * k : (oi + 1) * k, oj * k : (oj + 1) * k]
+                    big_w[out_idx[ci, oi, oj], block.reshape(-1)] = 1.0 / (k * k)
+        return big_w, np.zeros(m_out)
+
+
+class Flatten(Layer):
+    """Reshape (C, H, W) samples to flat vectors; identity affine map."""
+
+    def __init__(self) -> None:
+        super().__init__(relu=False)
+        self._cache_in_shape: Shape | None = None
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return (int(np.prod(input_shape)),)
+
+    def _linear_forward(self, x: np.ndarray) -> np.ndarray:
+        self._cache_in_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def _linear_backward(self, grad_y: np.ndarray) -> np.ndarray:
+        if self._cache_in_shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_y.reshape(self._cache_in_shape)
+
+    def as_affine(self, input_shape: Shape) -> tuple[np.ndarray, np.ndarray]:
+        m = int(np.prod(input_shape))
+        return np.eye(m), np.zeros(m)
+
+
+class Normalize(Layer):
+    """Fixed element-wise affine map ``y = scale * x + shift``.
+
+    Used to fold dataset standardization into the network so the
+    certified input domain is stated in raw units.  ``scale``/``shift``
+    broadcast against the sample shape.
+    """
+
+    def __init__(
+        self,
+        scale: float | Sequence[float] | np.ndarray,
+        shift: float | Sequence[float] | np.ndarray = 0.0,
+        relu: bool = False,
+    ) -> None:
+        super().__init__(relu)
+        self.scale = np.asarray(scale, dtype=float)
+        self.shift = np.asarray(shift, dtype=float)
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        np.broadcast_shapes(tuple(input_shape), self.scale.shape, self.shift.shape)
+        return tuple(input_shape)
+
+    def _linear_forward(self, x: np.ndarray) -> np.ndarray:
+        return x * self.scale + self.shift
+
+    def _linear_backward(self, grad_y: np.ndarray) -> np.ndarray:
+        return grad_y * self.scale
+
+    def as_affine(self, input_shape: Shape) -> tuple[np.ndarray, np.ndarray]:
+        m = int(np.prod(input_shape))
+        scale_flat = np.broadcast_to(self.scale, input_shape).reshape(-1)
+        shift_flat = np.broadcast_to(self.shift, input_shape).reshape(-1)
+        return np.diag(scale_flat), shift_flat.copy()

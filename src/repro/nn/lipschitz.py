@@ -1,0 +1,71 @@
+"""Lipschitz control: hard row-norm caps and L∞ gain estimation.
+
+The certified global robustness of a ReLU network is at best
+``ε ≈ δ · L`` where ``L`` is the network's global L∞→L∞ Lipschitz
+constant, itself bounded by the product of per-layer induced ∞-norms
+(maximum row L1 norm).  A network can therefore only receive a *tight*
+global certificate if it was trained with its layer norms under control
+— which is what :func:`make_row_norm_projector` enforces: after every
+optimizer step, any Dense row (or Conv output-channel kernel) whose L1
+norm exceeds its cap is rescaled onto the cap.
+
+This is the projected-gradient analogue of spectral normalization,
+specialized to the ∞-norm that L∞ robustness certification composes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Conv2D, Dense
+from repro.nn.network import Network
+
+
+def project_row_norms(network: Network, caps: Sequence[float]) -> None:
+    """Clip each parametric layer's rows onto its L1-norm cap, in place.
+
+    Args:
+        network: Model to project.
+        caps: One cap per *parametric* layer (Dense/Conv2D), in order.
+    """
+    parametric = [l for l in network.layers if isinstance(l, (Dense, Conv2D))]
+    if len(caps) != len(parametric):
+        raise ValueError(
+            f"{len(caps)} caps given for {len(parametric)} parametric layers"
+        )
+    for cap, layer in zip(caps, parametric):
+        if cap <= 0:
+            raise ValueError("caps must be positive")
+        if isinstance(layer, Dense):
+            norms = np.abs(layer.weight).sum(axis=1)
+            scale = np.minimum(1.0, cap / np.maximum(norms, 1e-12))
+            layer.weight *= scale[:, None]
+        else:
+            flat = np.abs(layer.weight).sum(axis=(1, 2, 3))
+            scale = np.minimum(1.0, cap / np.maximum(flat, 1e-12))
+            layer.weight *= scale[:, None, None, None]
+
+
+def make_row_norm_projector(caps: Sequence[float]) -> Callable[[Network], None]:
+    """A ``post_step`` hook for :func:`repro.nn.train.train`."""
+    caps = list(caps)
+
+    def hook(network: Network) -> None:
+        project_row_norms(network, caps)
+
+    return hook
+
+
+def linf_gain_upper_bound(network: Network) -> float:
+    """Product of per-layer induced ∞-norms (a global Lipschitz bound).
+
+    For the normal-form chain this bounds ``‖F(x̂) − F(x)‖∞ ≤ L·‖x̂−x‖∞``
+    over the whole input space; ``δ · L`` is the coarsest sound global
+    robustness bound and a quick feasibility check before certifying.
+    """
+    gain = 1.0
+    for layer in network.to_affine_layers():
+        gain *= float(np.abs(layer.weight).sum(axis=1).max())
+    return gain

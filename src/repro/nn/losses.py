@@ -1,0 +1,60 @@
+"""Training losses with analytic gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Loss:
+    """Interface: ``value`` and ``gradient`` w.r.t. predictions."""
+
+    def value(self, pred: np.ndarray, target: np.ndarray) -> float:
+        """Scalar loss averaged over the batch."""
+        raise NotImplementedError
+
+    def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        """dL/dpred, same shape as ``pred``."""
+        raise NotImplementedError
+
+
+class MeanSquaredError(Loss):
+    """0.5 * mean over batch of squared error (regression tasks)."""
+
+    def value(self, pred: np.ndarray, target: np.ndarray) -> float:
+        diff = pred - target
+        return float(0.5 * np.mean(np.sum(diff * diff, axis=tuple(range(1, diff.ndim)))))
+
+    def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        return (pred - target) / pred.shape[0]
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Softmax + cross-entropy over integer class labels.
+
+    ``target`` is an int array of shape ``(N,)``; ``pred`` are logits of
+    shape ``(N, num_classes)``.
+    """
+
+    @staticmethod
+    def _softmax(logits: np.ndarray) -> np.ndarray:
+        z = logits - logits.max(axis=1, keepdims=True)
+        e = np.exp(z)
+        return e / e.sum(axis=1, keepdims=True)
+
+    def value(self, pred: np.ndarray, target: np.ndarray) -> float:
+        probs = self._softmax(pred)
+        n = pred.shape[0]
+        picked = probs[np.arange(n), target.astype(int)]
+        return float(-np.mean(np.log(np.clip(picked, 1e-12, None))))
+
+    def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        probs = self._softmax(pred)
+        n = pred.shape[0]
+        grad = probs
+        grad[np.arange(n), target.astype(int)] -= 1.0
+        return grad / n
+
+    @staticmethod
+    def accuracy(pred: np.ndarray, target: np.ndarray) -> float:
+        """Top-1 accuracy of logits against integer labels."""
+        return float(np.mean(pred.argmax(axis=1) == target.astype(int)))

@@ -1,0 +1,146 @@
+"""Sequential network container with autodiff and affine export."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.affine import AffineLayer, merge_affine_chain
+from repro.nn.layers import Layer, Shape
+
+
+class Network:
+    """A feed-forward network: an input shape plus a list of layers.
+
+    Args:
+        input_shape: Shape of one input sample, e.g. ``(7,)`` for tabular
+            data or ``(1, 14, 14)`` for single-channel images.
+        layers: Layers applied in order.
+
+    Example::
+
+        net = Network((2,), [Dense(2, 2, relu=True, rng=rng),
+                             Dense(2, 1, relu=True, rng=rng)])
+        y = net.forward(np.zeros((5, 2)))
+    """
+
+    def __init__(self, input_shape: Shape | int, layers: Sequence[Layer]) -> None:
+        if isinstance(input_shape, int):
+            input_shape = (input_shape,)
+        self.input_shape: Shape = tuple(int(d) for d in input_shape)
+        self.layers: list[Layer] = list(layers)
+        # Validate the chain once up front; this also caches shapes.
+        self.layer_shapes: list[Shape] = [self.input_shape]
+        for layer in self.layers:
+            self.layer_shapes.append(layer.output_shape(self.layer_shapes[-1]))
+
+    # -- basic facts --------------------------------------------------------
+
+    @property
+    def output_shape(self) -> Shape:
+        """Shape of one output sample."""
+        return self.layer_shapes[-1]
+
+    @property
+    def input_dim(self) -> int:
+        """Flattened input dimension (m0 in the paper)."""
+        return int(np.prod(self.input_shape))
+
+    @property
+    def output_dim(self) -> int:
+        """Flattened output dimension (mn in the paper)."""
+        return int(np.prod(self.output_shape))
+
+    def num_hidden_neurons(self) -> int:
+        """Total ReLU neurons — the 'Neurons' column of Table I."""
+        total = 0
+        for layer, shape in zip(self.layers, self.layer_shapes[1:]):
+            if layer.relu:
+                total += int(np.prod(shape))
+        return total
+
+    # -- inference -------------------------------------------------------------
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run a batch through the network.
+
+        Args:
+            x: Batch shaped ``(N, *input_shape)`` — or ``(N, input_dim)``
+                flat, which is reshaped automatically.
+            training: Cache intermediates for :meth:`backward`.
+        """
+        x = np.asarray(x, dtype=float)
+        if x.shape[1:] != self.input_shape:
+            x = x.reshape(x.shape[0], *self.input_shape)
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Single-sample convenience: accepts and returns unbatched data."""
+        x = np.asarray(x, dtype=float)
+        return self.forward(x[None])[0]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Back-propagate output gradients to input gradients."""
+        grad = grad_out
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def input_gradient(self, x: np.ndarray, output_weights: np.ndarray) -> np.ndarray:
+        """Gradient of ``output_weights @ F(x)`` w.r.t. ``x`` (batched).
+
+        Used by the FGSM/PGD attacks.  ``output_weights`` has shape
+        ``(output_dim,)`` and selects/combines output coordinates.
+        """
+        x = np.asarray(x, dtype=float)
+        batched = x.ndim > len(self.input_shape)
+        xb = x if batched else x[None]
+        out = self.forward(xb, training=True)
+        grad_out = np.broadcast_to(
+            np.asarray(output_weights, dtype=float).reshape(self.output_shape),
+            out.shape,
+        ).copy()
+        grad_in = self.backward(grad_out)
+        return grad_in if batched else grad_in[0]
+
+    # -- parameters -----------------------------------------------------------------
+
+    def parameters(self) -> list[tuple[Layer, str, np.ndarray]]:
+        """All trainable arrays as (layer, name, array) triples."""
+        out = []
+        for layer in self.layers:
+            for name, arr in layer.params.items():
+                out.append((layer, name, arr))
+        return out
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars."""
+        return sum(arr.size for _, _, arr in self.parameters())
+
+    # -- export to certification form --------------------------------------------------
+
+    def to_affine_layers(self, compact: bool = True) -> list[AffineLayer]:
+        """Materialize the network as a chain of :class:`AffineLayer`.
+
+        Args:
+            compact: Merge consecutive ReLU-free stages (exact rewrite).
+
+        Returns:
+            The normal-form chain consumed by bounds/encoding/certify.
+        """
+        chain: list[AffineLayer] = []
+        shape = self.input_shape
+        for k, layer in enumerate(self.layers):
+            weight, bias = layer.as_affine(shape)
+            chain.append(
+                AffineLayer(weight, bias, layer.relu, name=type(layer).__name__.lower() + str(k))
+            )
+            shape = layer.output_shape(shape)
+        return merge_affine_chain(chain) if compact else chain
+
+    def __repr__(self) -> str:
+        inner = ", ".join(type(l).__name__ for l in self.layers)
+        return f"Network({self.input_shape} -> {self.output_shape}: {inner})"

@@ -1,0 +1,101 @@
+"""Save/load networks to a single ``.npz`` archive.
+
+The archive stores a JSON architecture description plus one array entry
+per parameter, so models survive across sessions without pickling code.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.layers import AvgPool2D, Conv2D, Dense, Flatten, Normalize
+from repro.nn.network import Network
+
+_LAYER_TAGS = {
+    Dense: "dense",
+    Conv2D: "conv2d",
+    AvgPool2D: "avgpool2d",
+    Flatten: "flatten",
+    Normalize: "normalize",
+}
+
+
+def _describe(layer) -> dict:
+    """Architecture record for one layer (no weights)."""
+    tag = _LAYER_TAGS[type(layer)]
+    spec: dict = {"type": tag, "relu": layer.relu}
+    if isinstance(layer, Dense):
+        spec["in_features"] = layer.weight.shape[1]
+        spec["out_features"] = layer.weight.shape[0]
+    elif isinstance(layer, Conv2D):
+        spec.update(
+            in_channels=layer.in_channels,
+            out_channels=layer.out_channels,
+            kernel_size=list(layer.kernel_size),
+            stride=layer.stride,
+            padding=layer.padding,
+        )
+    elif isinstance(layer, AvgPool2D):
+        spec["pool_size"] = layer.pool_size
+    return spec
+
+
+def save_network(network: Network, path: str | Path) -> None:
+    """Write ``network`` to ``path`` (``.npz``)."""
+    arch = {
+        "input_shape": list(network.input_shape),
+        "layers": [_describe(layer) for layer in network.layers],
+    }
+    arrays: dict[str, np.ndarray] = {"architecture": np.frombuffer(
+        json.dumps(arch).encode(), dtype=np.uint8
+    )}
+    for k, layer in enumerate(network.layers):
+        if isinstance(layer, Normalize):
+            arrays[f"layer{k}.scale"] = layer.scale
+            arrays[f"layer{k}.shift"] = layer.shift
+        else:
+            for name, arr in layer.params.items():
+                arrays[f"layer{k}.{name}"] = arr
+    np.savez(Path(path), **arrays)
+
+
+def load_network(path: str | Path) -> Network:
+    """Reconstruct a network written by :func:`save_network`."""
+    with np.load(Path(path)) as data:
+        arch = json.loads(bytes(data["architecture"]).decode())
+        layers = []
+        for k, spec in enumerate(arch["layers"]):
+            tag = spec["type"]
+            relu = bool(spec["relu"])
+            if tag == "dense":
+                layer = Dense(spec["in_features"], spec["out_features"], relu=relu)
+                layer.weight[...] = data[f"layer{k}.weight"]
+                layer.bias[...] = data[f"layer{k}.bias"]
+            elif tag == "conv2d":
+                layer = Conv2D(
+                    spec["in_channels"],
+                    spec["out_channels"],
+                    kernel_size=tuple(spec["kernel_size"]),
+                    stride=spec["stride"],
+                    padding=spec["padding"],
+                    relu=relu,
+                )
+                layer.weight[...] = data[f"layer{k}.weight"]
+                layer.bias[...] = data[f"layer{k}.bias"]
+            elif tag == "avgpool2d":
+                layer = AvgPool2D(spec["pool_size"], relu=relu)
+            elif tag == "flatten":
+                layer = Flatten()
+            elif tag == "normalize":
+                layer = Normalize(
+                    scale=data[f"layer{k}.scale"],
+                    shift=data[f"layer{k}.shift"],
+                    relu=relu,
+                )
+            else:
+                raise ValueError(f"unknown layer tag {tag!r} in {path}")
+            layers.append(layer)
+    return Network(tuple(arch["input_shape"]), layers)

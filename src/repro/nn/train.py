@@ -1,0 +1,109 @@
+"""Mini-batch training loop shared by all experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.losses import Loss, MeanSquaredError
+from repro.nn.network import Network
+from repro.nn.optimizers import Adam, Optimizer
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters for :func:`train`.
+
+    Attributes:
+        epochs: Number of passes over the data.
+        batch_size: Mini-batch size.
+        shuffle: Reshuffle data each epoch.
+        seed: RNG seed for shuffling.
+        verbose: Print one line per ``log_every`` epochs.
+        log_every: Logging period in epochs.
+    """
+
+    epochs: int = 50
+    batch_size: int = 32
+    shuffle: bool = True
+    seed: int = 0
+    verbose: bool = False
+    log_every: int = 10
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch training trace."""
+
+    losses: list[float] = field(default_factory=list)
+    val_losses: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        """Training loss of the last epoch."""
+        return self.losses[-1] if self.losses else float("nan")
+
+
+def train(
+    network: Network,
+    x: np.ndarray,
+    y: np.ndarray,
+    loss: Loss | None = None,
+    optimizer: Optimizer | None = None,
+    config: TrainConfig | None = None,
+    x_val: np.ndarray | None = None,
+    y_val: np.ndarray | None = None,
+    post_step=None,
+) -> TrainHistory:
+    """Train ``network`` in place on ``(x, y)``.
+
+    Args:
+        network: Model to train (updated in place).
+        x: Inputs ``(N, *input_shape)``.
+        y: Targets (regression arrays or integer class labels).
+        loss: Defaults to :class:`MeanSquaredError`.
+        optimizer: Defaults to :class:`Adam` with lr=1e-3.
+        config: Loop hyper-parameters.
+        x_val / y_val: Optional held-out split, evaluated per epoch.
+        post_step: Optional callback ``f(network)`` invoked after every
+            optimizer step — the hook used for constraint projections
+            such as Lipschitz (row-norm) capping.
+
+    Returns:
+        The :class:`TrainHistory` of epoch losses.
+    """
+    loss = loss or MeanSquaredError()
+    optimizer = optimizer or Adam()
+    config = config or TrainConfig()
+    rng = np.random.default_rng(config.seed)
+    n = x.shape[0]
+    history = TrainHistory()
+
+    for epoch in range(config.epochs):
+        order = rng.permutation(n) if config.shuffle else np.arange(n)
+        epoch_loss = 0.0
+        batches = 0
+        for start in range(0, n, config.batch_size):
+            idx = order[start : start + config.batch_size]
+            xb, yb = x[idx], y[idx]
+            pred = network.forward(xb, training=True)
+            epoch_loss += loss.value(pred, yb)
+            batches += 1
+            network.backward(loss.gradient(pred, yb))
+            updates = [
+                (arr, layer.grads[name]) for layer, name, arr in network.parameters()
+            ]
+            optimizer.step(updates)
+            if post_step is not None:
+                post_step(network)
+        history.losses.append(epoch_loss / max(1, batches))
+        if x_val is not None and y_val is not None:
+            val_pred = network.forward(x_val)
+            history.val_losses.append(loss.value(val_pred, y_val))
+        if config.verbose and (epoch % config.log_every == 0 or epoch == config.epochs - 1):
+            msg = f"epoch {epoch:4d}  loss {history.losses[-1]:.5f}"
+            if history.val_losses:
+                msg += f"  val {history.val_losses[-1]:.5f}"
+            print(msg)
+    return history

@@ -1,0 +1,6 @@
+"""Shared utilities: timing, table formatting, RNG plumbing."""
+
+from repro.utils.tables import format_table
+from repro.utils.timing import Timer
+
+__all__ = ["Timer", "format_table"]

@@ -1,0 +1,98 @@
+"""FGSM / PGD attack behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.attack import fgsm, pgd, variation_pgd
+from repro.nn import Dense, Network
+
+
+@pytest.fixture()
+def net():
+    rng = np.random.default_rng(0)
+    return Network((4,), [Dense(4, 8, relu=True, rng=rng), Dense(8, 1, rng=rng)])
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1)
+
+
+class TestFgsm:
+    def test_stays_in_ball(self, net, rng):
+        x = rng.uniform(0, 1, 4)
+        adv = fgsm(net, x, np.ones(1), epsilon=0.1)
+        assert np.all(np.abs(adv - x) <= 0.1 + 1e-12)
+
+    def test_clipping(self, net, rng):
+        x = rng.uniform(0, 0.05, 4)
+        adv = fgsm(net, x, np.ones(1), epsilon=0.2, clip_lo=0.0, clip_hi=1.0)
+        assert np.all(adv >= 0.0) and np.all(adv <= 1.0)
+
+    def test_increases_output(self, net, rng):
+        # On average FGSM(+1) should not decrease the targeted output.
+        wins = 0
+        for _ in range(20):
+            x = rng.uniform(0, 1, 4)
+            adv = fgsm(net, x, np.ones(1), epsilon=0.05, sign=+1.0)
+            if net.predict(adv)[0] >= net.predict(x)[0] - 1e-9:
+                wins += 1
+        assert wins >= 15
+
+    def test_sign_flips_direction(self, net, rng):
+        x = rng.uniform(0, 1, 4)
+        up = fgsm(net, x, np.ones(1), epsilon=0.05, sign=+1.0)
+        down = fgsm(net, x, np.ones(1), epsilon=0.05, sign=-1.0)
+        assert net.predict(up)[0] >= net.predict(down)[0] - 1e-9
+
+
+class TestPgd:
+    def test_stays_in_ball_and_domain(self, net, rng):
+        x = rng.uniform(0, 1, 4)
+        adv = pgd(net, x, np.ones(1), epsilon=0.1, steps=10, clip_lo=0.0, clip_hi=1.0, rng=rng)
+        assert np.all(np.abs(adv - x) <= 0.1 + 1e-12)
+        assert np.all(adv >= 0.0) and np.all(adv <= 1.0)
+
+    def test_beats_or_matches_fgsm_mostly(self, net, rng):
+        """Multi-step PGD should usually find at least as good an ascent."""
+        better = 0
+        for trial in range(15):
+            x = rng.uniform(0, 1, 4)
+            f = fgsm(net, x, np.ones(1), epsilon=0.1)
+            p = pgd(net, x, np.ones(1), epsilon=0.1, steps=25, rng=rng, random_start=False)
+            if net.predict(p)[0] >= net.predict(f)[0] - 1e-6:
+                better += 1
+        assert better >= 10
+
+    def test_zero_steps_is_projection_only(self, net, rng):
+        x = rng.uniform(0, 1, 4)
+        adv = pgd(net, x, np.ones(1), epsilon=0.1, steps=0, rng=rng, random_start=False)
+        assert np.allclose(adv, x)
+
+
+class TestVariationPgd:
+    def test_variation_nonnegative_and_consistent(self, net, rng):
+        x = rng.uniform(0, 1, 4)
+        adv, var = variation_pgd(net, x, 0, delta=0.1, steps=15, rng=rng)
+        assert var >= 0.0
+        achieved = abs(net.predict(adv)[0] - net.predict(x)[0])
+        assert achieved == pytest.approx(var, abs=1e-9)
+
+    def test_ball_constraint(self, net, rng):
+        x = rng.uniform(0, 1, 4)
+        adv, _ = variation_pgd(net, x, 0, delta=0.05, steps=15, rng=rng)
+        assert np.all(np.abs(adv - x) <= 0.05 + 1e-12)
+
+    def test_restarts_do_not_hurt(self, net, rng):
+        x = rng.uniform(0, 1, 4)
+        _, single = variation_pgd(net, x, 0, delta=0.1, steps=15, rng=np.random.default_rng(3))
+        _, multi = variation_pgd(
+            net, x, 0, delta=0.1, steps=15, rng=np.random.default_rng(3), restarts=3
+        )
+        assert multi >= single - 1e-6
+
+    def test_larger_delta_finds_larger_variation(self, net, rng):
+        x = rng.uniform(0, 1, 4)
+        _, small = variation_pgd(net, x, 0, delta=0.01, steps=20, rng=rng)
+        _, large = variation_pgd(net, x, 0, delta=0.2, steps=20, rng=rng)
+        assert large >= small - 1e-9

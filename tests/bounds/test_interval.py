@@ -1,0 +1,107 @@
+"""Box arithmetic unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.bounds import Box
+
+
+class TestBoxBasics:
+    def test_construction(self):
+        box = Box(np.array([0.0, -1.0]), np.array([1.0, 1.0]))
+        assert box.dim == 2
+        assert np.allclose(box.center, [0.5, 0.0])
+        assert np.allclose(box.radius, [0.5, 1.0])
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Box(np.array([1.0]), np.array([0.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Box(np.zeros(2), np.zeros(3))
+
+    def test_from_center(self):
+        box = Box.from_center(np.array([1.0, 2.0]), 0.5)
+        assert np.allclose(box.lo, [0.5, 1.5])
+        assert np.allclose(box.hi, [1.5, 2.5])
+
+    def test_uniform_and_point(self):
+        assert np.allclose(Box.uniform(3, -1, 1).width(), 2.0)
+        pt = Box.point(np.array([1.0, 2.0]))
+        assert np.allclose(pt.width(), 0.0)
+
+    def test_contains(self):
+        box = Box.uniform(2, 0.0, 1.0)
+        assert box.contains(np.array([0.5, 0.5]))
+        assert not box.contains(np.array([1.5, 0.5]))
+
+    def test_sample_inside(self):
+        rng = np.random.default_rng(0)
+        box = Box(np.array([-1.0, 2.0]), np.array([0.0, 3.0]))
+        samples = box.sample(rng, 50)
+        assert samples.shape == (50, 2)
+        for s in samples:
+            assert box.contains(s)
+
+    def test_scalar(self):
+        box = Box(np.array([1.0, 2.0]), np.array([3.0, 4.0]))
+        assert box.scalar(1) == (2.0, 4.0)
+
+    def test_getitem(self):
+        box = Box(np.array([0.0, 1.0, 2.0]), np.array([1.0, 2.0, 3.0]))
+        sub = box[1]
+        assert sub.dim == 1
+        assert sub.scalar(0) == (1.0, 2.0)
+
+
+class TestBoxArithmetic:
+    def test_affine_soundness_random(self):
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            box = Box(rng.uniform(-2, 0, 3), rng.uniform(0, 2, 3))
+            w = rng.standard_normal((2, 3))
+            b = rng.standard_normal(2)
+            image = box.affine(w, b)
+            for _ in range(20):
+                x = box.sample(rng)[0]
+                y = w @ x + b
+                assert image.contains(y, tol=1e-8)
+
+    def test_affine_tightness_1d(self):
+        # For a single row the interval image is exact.
+        box = Box(np.array([-1.0, 0.0]), np.array([1.0, 2.0]))
+        image = box.affine(np.array([[1.0, -1.0]]), np.array([0.0]))
+        assert image.scalar(0) == (-3.0, 1.0)
+
+    def test_relu(self):
+        box = Box(np.array([-2.0, 1.0]), np.array([-1.0, 3.0]))
+        relu = box.relu()
+        assert relu.scalar(0) == (0.0, 0.0)
+        assert relu.scalar(1) == (1.0, 3.0)
+
+    def test_intersect(self):
+        a = Box.uniform(1, 0.0, 2.0)
+        b = Box.uniform(1, 1.0, 3.0)
+        assert a.intersect(b).scalar(0) == (1.0, 2.0)
+
+    def test_intersect_empty_raises(self):
+        a = Box.uniform(1, 0.0, 1.0)
+        b = Box.uniform(1, 2.0, 3.0)
+        with pytest.raises(ValueError):
+            a.intersect(b)
+
+    def test_union_hull(self):
+        a = Box.uniform(1, 0.0, 1.0)
+        b = Box.uniform(1, 2.0, 3.0)
+        assert a.union_hull(b).scalar(0) == (0.0, 3.0)
+
+    def test_add_sub(self):
+        a = Box.uniform(1, 1.0, 2.0)
+        b = Box.uniform(1, -0.5, 0.5)
+        assert (a + b).scalar(0) == (0.5, 2.5)
+        assert (a - b).scalar(0) == (0.5, 2.5)
+
+    def test_expand(self):
+        box = Box.uniform(2, 0.0, 1.0).expand(0.5)
+        assert box.scalar(0) == (-0.5, 1.5)

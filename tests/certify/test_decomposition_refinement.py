@@ -1,0 +1,143 @@
+"""Network decomposition and refinement selection."""
+
+import numpy as np
+import pytest
+
+from repro.bounds import Box
+from repro.bounds.ranges import RangeTable
+from repro.certify.decomposition import decompose, subnetwork_ranges
+from repro.certify.refinement import neuron_scores, select_refinement
+from repro.nn.affine import AffineLayer, affine_chain_forward
+
+
+@pytest.fixture()
+def chain():
+    rng = np.random.default_rng(0)
+    dims = [3, 4, 4, 2]
+    return [
+        AffineLayer(
+            rng.standard_normal((dims[i + 1], dims[i])),
+            0.1 * rng.standard_normal(dims[i + 1]),
+            relu=i < 2,
+        )
+        for i in range(3)
+    ]
+
+
+class TestDecompose:
+    def test_window_clipping(self, chain):
+        sub = decompose(chain, layer_index=1, window=5, output_relu=False)
+        assert sub.depth == 1
+        assert sub.input_layer_index == 0
+
+    def test_full_depth(self, chain):
+        sub = decompose(chain, layer_index=3, window=3, output_relu=False)
+        assert sub.depth == 3
+        assert sub.input_layer_index == 0
+        assert sub.output_layer_index == 3
+
+    def test_single_neuron_slice(self, chain):
+        sub = decompose(chain, 2, 2, output_relu=True, neuron=1)
+        assert sub.layers[-1].out_dim == 1
+        x = np.random.default_rng(1).uniform(-1, 1, 3)
+        full = affine_chain_forward(chain[:2], x)
+        part = affine_chain_forward(sub.layers, x)
+        assert part[0] == pytest.approx(full[1])
+
+    def test_output_relu_stripped(self, chain):
+        sub_y = decompose(chain, 2, 1, output_relu=False)
+        sub_x = decompose(chain, 2, 1, output_relu=True)
+        assert not sub_y.layers[-1].relu
+        assert sub_x.layers[-1].relu
+
+    def test_inner_relus_kept(self, chain):
+        sub = decompose(chain, 3, 3, output_relu=False)
+        assert sub.layers[0].relu
+        assert sub.layers[1].relu
+        assert not sub.layers[2].relu
+
+    def test_invalid_layer_index(self, chain):
+        with pytest.raises(ValueError):
+            decompose(chain, 0, 1, output_relu=False)
+        with pytest.raises(ValueError):
+            decompose(chain, 4, 1, output_relu=False)
+
+
+class TestSubnetworkRanges:
+    def test_slicing(self, chain):
+        table = RangeTable.from_interval_propagation(
+            chain, Box.uniform(3, -1, 1), 0.05
+        )
+        sub = decompose(chain, 3, 2, output_relu=False)
+        sub_table = subnetwork_ranges(table, sub)
+        assert sub_table.num_layers == 2
+        # Slice input record equals the global layer-1 post-activation.
+        assert np.allclose(sub_table.layer(0).x.lo, table.layer(1).x.lo)
+        assert np.allclose(sub_table.layer(2).y.hi, table.layer(3).y.hi)
+
+    def test_neuron_restriction(self, chain):
+        table = RangeTable.from_interval_propagation(
+            chain, Box.uniform(3, -1, 1), 0.05
+        )
+        sub = decompose(chain, 2, 1, output_relu=True, neuron=2)
+        sub_table = subnetwork_ranges(table, sub, neuron=2)
+        assert sub_table.layer(1).y.dim == 1
+        assert sub_table.layer(1).y.scalar(0) == table.layer(2).y.scalar(2)
+
+
+class TestRefinementSelection:
+    def test_budget_respected(self, chain):
+        table = RangeTable.from_interval_propagation(
+            chain, Box.uniform(3, -1, 1), 0.05
+        )
+        sub = decompose(chain, 3, 3, output_relu=False)
+        sub_table = subnetwork_ranges(table, sub)
+        for budget in (0, 1, 3, 100):
+            masks = select_refinement(sub, sub_table, budget)
+            total = sum(int(m.sum()) for m in masks)
+            assert total <= budget
+            if budget >= 8:
+                # All unstable hidden neurons selected when budget allows.
+                assert total >= 1
+
+    def test_highest_scores_selected_first(self, chain):
+        table = RangeTable.from_interval_propagation(
+            chain, Box.uniform(3, -1, 1), 0.05
+        )
+        sub = decompose(chain, 3, 3, output_relu=False)
+        sub_table = subnetwork_ranges(table, sub)
+        masks = select_refinement(sub, sub_table, 1)
+        # The single refined neuron must be an argmax of the scores.
+        best = None
+        for depth in (1, 2):
+            scores = neuron_scores(sub_table, depth)
+            for j, s in enumerate(scores):
+                if best is None or s > best[0]:
+                    best = (s, depth, j)
+        _, depth, j = best
+        assert masks[depth - 1][j]
+
+    def test_output_layer_exclusion(self, chain):
+        table = RangeTable.from_interval_propagation(
+            chain, Box.uniform(3, -1, 1), 0.05
+        )
+        sub = decompose(chain, 2, 2, output_relu=True)
+        sub_table = subnetwork_ranges(table, sub)
+        masks_no = select_refinement(sub, sub_table, 100, include_output_layer=False)
+        assert masks_no[-1].sum() == 0
+        masks_yes = select_refinement(sub, sub_table, 100, include_output_layer=True)
+        assert masks_yes[-1].sum() >= 0  # may refine output relus
+
+    def test_stable_neurons_never_selected(self):
+        # A chain whose first layer is stably active everywhere.
+        layers = [
+            AffineLayer(np.eye(2), np.array([10.0, 10.0]), relu=True),
+            AffineLayer(np.ones((1, 2)), np.zeros(1), relu=False),
+        ]
+        table = RangeTable.from_interval_propagation(
+            layers, Box.uniform(2, 0, 1), 0.01
+        )
+        sub = decompose(layers, 2, 2, output_relu=False)
+        sub_table = subnetwork_ranges(table, sub)
+        masks = select_refinement(sub, sub_table, 100)
+        assert all(m.sum() == 0 for m in masks)

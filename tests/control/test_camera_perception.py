@@ -1,0 +1,91 @@
+"""Camera renderer and perception-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.control import CameraModel, train_perception_model
+from repro.control.perception import build_perception_network
+
+
+@pytest.fixture(scope="module")
+def camera():
+    return CameraModel(height=6, width=12)
+
+
+class TestCamera:
+    def test_image_shape_and_range(self, camera):
+        img = camera.render(1.0)
+        assert img.shape == (1, 6, 12)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_deterministic(self, camera):
+        a = camera.render(1.2, lateral=0.05, illumination=1.1)
+        b = camera.render(1.2, lateral=0.05, illumination=1.1)
+        assert np.array_equal(a, b)
+
+    def test_closer_vehicle_is_larger(self, camera):
+        """Nearer vehicles cover more dark pixels."""
+        near = camera.render(0.5)
+        far = camera.render(1.9)
+        dark_near = (near < 0.3).sum()
+        dark_far = (far < 0.3).sum()
+        assert dark_near > dark_far
+
+    def test_distance_monotonically_changes_image(self, camera):
+        """Mean brightness varies monotonically enough with distance."""
+        distances = np.linspace(0.5, 1.9, 15)
+        means = [camera.render(d).mean() for d in distances]
+        diffs = np.diff(means)
+        assert (diffs > 0).mean() > 0.8  # mostly increasing (smaller car)
+
+    def test_lateral_shift_moves_vehicle(self, camera):
+        left = camera.render(1.0, lateral=-0.15)
+        right = camera.render(1.0, lateral=0.15)
+        assert not np.allclose(left, right)
+
+    def test_illumination_scales(self, camera):
+        dark = camera.render(1.0, illumination=0.8)
+        bright = camera.render(1.0, illumination=1.2)
+        assert bright.mean() > dark.mean()
+
+    def test_render_batch(self, camera):
+        rng = np.random.default_rng(0)
+        batch = camera.render_batch(np.array([0.6, 1.0, 1.5]), rng=rng)
+        assert batch.shape == (3, 1, 6, 12)
+
+    def test_distance_clipped_to_validity(self, camera):
+        # Out-of-range distances render like the clipped extremes.
+        assert np.allclose(camera.render(0.01), camera.render(camera.d_min))
+
+
+class TestPerception:
+    def test_network_shape(self, camera):
+        rng = np.random.default_rng(0)
+        net = build_perception_network(camera, rng, conv_channels=(2,))
+        assert net.input_shape == camera.image_shape
+        assert net.output_dim == 1
+
+    def test_training_learns_distance(self, camera):
+        pm = train_perception_model(
+            camera,
+            n_samples=300,
+            epochs=40,
+            seed=0,
+            conv_channels=(2,),
+            lateral_range=0.0,
+            illum_range=0.0,
+            adversarial_rounds=1,
+        )
+        # Predictions must correlate strongly with the true distance.
+        distances = np.linspace(0.5, 1.9, 20)
+        preds = [pm.estimate(camera.render(d)) for d in distances]
+        corr = np.corrcoef(distances, preds)[0, 1]
+        assert corr > 0.9
+        assert pm.model_inaccuracy < 0.5
+
+    def test_model_inaccuracy_is_worst_case(self, camera):
+        pm = train_perception_model(
+            camera, n_samples=100, epochs=10, seed=1, conv_channels=(2,),
+            adversarial_rounds=1,
+        )
+        assert pm.model_inaccuracy >= 0.0

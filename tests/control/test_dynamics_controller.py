@@ -1,0 +1,91 @@
+"""Plant dynamics and feedback-controller tests."""
+
+import numpy as np
+import pytest
+
+from repro.control import AccDynamics, FeedbackController
+
+
+@pytest.fixture()
+def dyn():
+    return AccDynamics()
+
+
+@pytest.fixture()
+def ctl():
+    return FeedbackController()
+
+
+class TestDynamics:
+    def test_paper_matrices(self, dyn):
+        assert np.allclose(dyn.a, [[1.0, -0.1], [0.0, 1.0]])
+        assert np.allclose(dyn.b, [-0.005, 0.1])
+        assert dyn.w1_bound == pytest.approx(0.2)
+        assert np.allclose(dyn.w2_bound, [5e-4, 3e-5])
+
+    def test_state_conversions_roundtrip(self, dyn):
+        x = dyn.to_state(1.5, 0.5)
+        assert np.allclose(x, [0.3, 0.1])
+        d, v = dyn.to_raw(x)
+        assert (d, v) == pytest.approx((1.5, 0.5))
+
+    def test_step_nominal(self, dyn):
+        x = np.array([0.1, 0.2])
+        nxt = dyn.step(x, u=0.0)
+        assert np.allclose(nxt, dyn.a @ x)
+
+    def test_step_rejects_out_of_bound_w1(self, dyn):
+        with pytest.raises(ValueError):
+            dyn.step(np.zeros(2), 0.0, w1=0.5)
+
+    def test_step_rejects_out_of_bound_w2(self, dyn):
+        with pytest.raises(ValueError):
+            dyn.step(np.zeros(2), 0.0, w2=np.array([0.1, 0.0]))
+
+    def test_safe_state_bounds(self, dyn):
+        lo, hi = dyn.safe_state_bounds()
+        assert np.allclose(lo, [-0.7, -0.3])
+        assert np.allclose(hi, [0.7, 0.3])
+
+    def test_is_safe(self, dyn):
+        assert dyn.is_safe(np.zeros(2))
+        assert not dyn.is_safe(np.array([0.8, 0.0]))
+        assert not dyn.is_safe(np.array([0.0, 0.35]))
+
+    def test_sampled_disturbances_admissible(self, dyn):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            assert abs(dyn.sample_w1(rng)) <= dyn.w1_bound
+            assert np.all(np.abs(dyn.sample_w2(rng)) <= dyn.w2_bound)
+
+    def test_tracking_steady_state(self, dyn):
+        """With v_e = v_r (x2 = -w1) the distance drift cancels."""
+        x = np.array([0.0, -0.15])
+        nxt = dyn.step(x, u=0.0, w1=0.15)
+        assert nxt[0] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestController:
+    def test_linear_law(self, ctl):
+        x = np.array([0.2, -0.1])
+        assert ctl.control(x) == pytest.approx(float(ctl.k @ x))
+
+    def test_saturation(self):
+        ctl = FeedbackController(u_limits=(-1.0, 1.0))
+        assert ctl.control(np.array([100.0, 0.0])) == 1.0
+        assert ctl.control(np.array([-100.0, 0.0])) == -1.0
+
+    def test_closed_loop_matrix(self, dyn, ctl):
+        acl = ctl.closed_loop_matrix(dyn.a, dyn.b)
+        assert acl.shape == (2, 2)
+        assert np.allclose(acl, dyn.a + np.outer(dyn.b, ctl.k))
+
+    def test_default_gain_is_stabilizing(self, dyn, ctl):
+        acl = ctl.closed_loop_matrix(dyn.a, dyn.b)
+        assert np.max(np.abs(np.linalg.eigvals(acl))) < 1.0
+
+    def test_closed_loop_converges(self, dyn, ctl):
+        x = np.array([0.3, -0.1])
+        for _ in range(500):
+            x = dyn.step(x, ctl.control(x))
+        assert np.linalg.norm(x) < 1e-3

@@ -1,0 +1,142 @@
+"""2-D polytope geometry and robust invariant set computation."""
+
+import numpy as np
+import pytest
+
+from repro.control import AccDynamics, FeedbackController, Polytope2D
+from repro.control.invariant import (
+    disturbance_support,
+    max_safe_estimation_error,
+    robust_invariant_set,
+)
+
+
+class TestPolytope:
+    def test_box_vertices(self):
+        box = Polytope2D.from_box(np.array([0.0, 0.0]), np.array([2.0, 1.0]))
+        verts = box.vertices()
+        assert verts.shape == (4, 2)
+        assert box.area() == pytest.approx(2.0)
+
+    def test_contains(self):
+        box = Polytope2D.from_box(np.array([-1, -1.0]), np.array([1, 1.0]))
+        assert box.contains(np.zeros(2))
+        assert not box.contains(np.array([2.0, 0.0]))
+
+    def test_intersect(self):
+        a = Polytope2D.from_box(np.array([0, 0.0]), np.array([2, 2.0]))
+        b = Polytope2D.from_box(np.array([1, 1.0]), np.array([3, 3.0]))
+        inter = a.intersect(b)
+        assert inter.area() == pytest.approx(1.0)
+        assert inter.contains(np.array([1.5, 1.5]))
+
+    def test_empty_after_disjoint_intersection(self):
+        a = Polytope2D.from_box(np.array([0, 0.0]), np.array([1, 1.0]))
+        b = Polytope2D.from_box(np.array([2, 2.0]), np.array([3, 3.0]))
+        assert a.intersect(b).is_empty()
+
+    def test_support_function(self):
+        box = Polytope2D.from_box(np.array([-1, -2.0]), np.array([1, 2.0]))
+        assert box.support(np.array([1.0, 0.0])) == pytest.approx(1.0)
+        assert box.support(np.array([0.0, -1.0])) == pytest.approx(2.0)
+
+    def test_remove_redundancy_keeps_geometry(self):
+        box = Polytope2D.from_box(np.array([0, 0.0]), np.array([1, 1.0]))
+        # Add a redundant halfplane far away.
+        noisy = Polytope2D(
+            np.vstack([box.a, [[1.0, 0.0]]]), np.concatenate([box.b, [10.0]])
+        )
+        clean = noisy.remove_redundancy()
+        assert clean.area() == pytest.approx(1.0)
+        assert clean.a.shape[0] == 4
+
+    def test_linear_preimage(self):
+        box = Polytope2D.from_box(np.array([-1, -1.0]), np.array([1, 1.0]))
+        half = box.linear_preimage(np.eye(2) * 2.0, np.zeros(4))
+        # Pre-image of the box under x -> 2x is the half-size box.
+        assert half.area() == pytest.approx(1.0)
+
+    def test_triangle_area(self):
+        tri = Polytope2D(
+            np.array([[-1.0, 0.0], [0.0, -1.0], [1.0, 1.0]]),
+            np.array([0.0, 0.0, 1.0]),
+        )
+        assert tri.area() == pytest.approx(0.5)
+
+
+class TestDisturbanceSupport:
+    def test_segment_generator(self):
+        normals = np.array([[1.0, 0.0], [0.0, 1.0]])
+        support = disturbance_support(normals, [(np.array([1.0, 0.0]), 0.5)])
+        assert support == pytest.approx([0.5, 0.0])
+
+    def test_box_disturbance(self):
+        normals = np.array([[1.0, 0.0], [-1.0, -1.0]])
+        support = disturbance_support(normals, [], box=np.array([0.1, 0.2]))
+        assert support == pytest.approx([0.1, 0.3])
+
+    def test_combined(self):
+        normals = np.array([[1.0, 0.0]])
+        support = disturbance_support(
+            normals, [(np.array([2.0, 0.0]), 0.5)], box=np.array([0.1, 0.0])
+        )
+        assert support == pytest.approx([1.1])
+
+
+class TestInvariantSet:
+    def test_pure_contraction_keeps_whole_box(self):
+        safe = Polytope2D.from_box(np.array([-1, -1.0]), np.array([1, 1.0]))
+        inv = robust_invariant_set(np.eye(2) * 0.5, [], safe)
+        assert inv.area() == pytest.approx(4.0, rel=1e-6)
+
+    def test_one_step_invariance_property(self):
+        """Sampled points of the invariant set stay inside after one
+        worst-case-ish step (randomized disturbances)."""
+        dyn = AccDynamics()
+        ctl = FeedbackController()
+        acl = ctl.closed_loop_matrix(dyn.a, dyn.b)
+        lo, hi = dyn.safe_state_bounds()
+        safe = Polytope2D.from_box(lo, hi)
+        err = 0.1
+        gens = [(dyn.b * ctl.k[0], err), (dyn.e, dyn.w1_bound)]
+        inv = robust_invariant_set(acl, gens, safe, box=dyn.w2_bound)
+        assert not inv.is_empty()
+        rng = np.random.default_rng(0)
+        verts = inv.vertices()
+        for _ in range(200):
+            w = rng.random(len(verts))
+            x = (w / w.sum()) @ verts  # random convex combination
+            disturbance = (
+                dyn.b * ctl.k[0] * rng.uniform(-err, err)
+                + dyn.e * rng.uniform(-dyn.w1_bound, dyn.w1_bound)
+                + rng.uniform(-dyn.w2_bound, dyn.w2_bound)
+            )
+            nxt = acl @ x + disturbance
+            assert inv.contains(nxt, tol=1e-6)
+
+    def test_unstable_map_gives_small_or_empty(self):
+        safe = Polytope2D.from_box(np.array([-1, -1.0]), np.array([1, 1.0]))
+        inv = robust_invariant_set(
+            np.array([[1.5, 0.0], [0.0, 0.3]]),
+            [(np.array([1.0, 0.0]), 0.2)],
+            safe,
+        )
+        assert inv.area() < 4.0
+
+    def test_paper_tolerance_reproduced(self):
+        """The calibrated loop tolerates ē ≈ 0.14 (paper's threshold)."""
+        tol = max_safe_estimation_error(AccDynamics(), FeedbackController())
+        assert 0.12 <= tol <= 0.16
+
+    def test_tolerance_zero_without_feedback(self):
+        # No feedback: the open loop is marginally stable and drifts
+        # under w1, so no robust invariant set exists -> tolerance 0.
+        ctl = FeedbackController(k=np.zeros(2))
+        tol = max_safe_estimation_error(AccDynamics(), ctl)
+        assert tol == 0.0
+
+    def test_tolerance_monotone_in_disturbance(self):
+        ctl = FeedbackController()
+        tol_small = max_safe_estimation_error(AccDynamics(w1_bound=0.05), ctl)
+        tol_large = max_safe_estimation_error(AccDynamics(w1_bound=0.2), ctl)
+        assert tol_small >= tol_large - 1e-6

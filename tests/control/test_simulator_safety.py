@@ -1,0 +1,96 @@
+"""Closed-loop simulator and end-to-end safety verification."""
+
+import numpy as np
+import pytest
+
+from repro.certify import CertifierConfig
+from repro.control import (
+    AccDynamics,
+    CameraModel,
+    ClosedLoopSimulator,
+    train_perception_model,
+    verify_acc_safety,
+)
+
+
+@pytest.fixture(scope="module")
+def perception():
+    """A small, quickly-trained perception model shared by the tests."""
+    return train_perception_model(
+        CameraModel(height=6, width=12),
+        n_samples=400,
+        epochs=80,
+        seed=0,
+        conv_channels=(2,),
+        dense_width=24,
+        lipschitz_caps=(2.8, 2.0, 1.8),
+    )
+
+
+class TestSimulator:
+    def test_clean_episode_safe(self, perception):
+        sim = ClosedLoopSimulator(perception)
+        result = sim.run_episode(steps=50, seed=0, lateral_range=0.0, illum_range=0.0)
+        assert result.safe
+        assert result.steps_survived == 50
+        assert len(result.distances) == 50
+
+    def test_estimation_error_recorded(self, perception):
+        sim = ClosedLoopSimulator(perception)
+        result = sim.run_episode(steps=20, seed=1, lateral_range=0.0, illum_range=0.0)
+        assert result.max_estimation_error > 0.0
+
+    def test_attack_increases_error(self, perception):
+        sim = ClosedLoopSimulator(perception)
+        clean = sim.run_episode(steps=30, seed=2, lateral_range=0.0, illum_range=0.0)
+        attacked = sim.run_episode(
+            steps=30, seed=2, attack_delta=10 / 255, lateral_range=0.0, illum_range=0.0
+        )
+        assert attacked.max_estimation_error >= clean.max_estimation_error - 1e-6
+
+    def test_error_bound_counting(self, perception):
+        sim = ClosedLoopSimulator(perception)
+        result = sim.run_episode(
+            steps=20, seed=3, error_bound=1e-9, lateral_range=0.0, illum_range=0.0
+        )
+        assert result.error_exceedances > 0  # bound tiny -> every step exceeds
+
+    def test_campaign_aggregates(self, perception):
+        sim = ClosedLoopSimulator(perception)
+        stats = sim.run_campaign(episodes=3, steps=20, seed=4, initial_spread=0.02)
+        assert stats["episodes"] == 3
+        assert 0.0 <= stats["unsafe_fraction"] <= 1.0
+        assert len(stats["results"]) == 3
+
+    def test_unsafe_detected_from_bad_start(self, perception):
+        sim = ClosedLoopSimulator(perception)
+        # Start right at the edge with hostile velocity: should violate.
+        result = sim.run_episode(
+            steps=100,
+            seed=5,
+            initial_state=np.array([0.69, 0.29]),
+            lateral_range=0.0,
+            illum_range=0.0,
+        )
+        assert isinstance(result.safe, bool)
+
+
+class TestSafetyVerification:
+    def test_verdict_structure(self, perception):
+        verdict = verify_acc_safety(
+            perception,
+            delta=2 / 255,
+            certifier_config=CertifierConfig(window=1, refine_count=0),
+        )
+        assert verdict.total_error == pytest.approx(
+            verdict.model_inaccuracy + verdict.certified_variation
+        )
+        assert 0.10 < verdict.tolerated_error < 0.16
+        assert verdict.safe == (verdict.total_error <= verdict.tolerated_error)
+        assert "verdict" in verdict.summary()
+
+    def test_larger_delta_larger_variation(self, perception):
+        cfg = CertifierConfig(window=1, refine_count=0)
+        small = verify_acc_safety(perception, delta=1 / 255, certifier_config=cfg)
+        large = verify_acc_safety(perception, delta=8 / 255, certifier_config=cfg)
+        assert large.certified_variation >= small.certified_variation - 1e-9

@@ -1,0 +1,112 @@
+"""Synthetic dataset generators: shapes, ranges, learnability, splits."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_auto_mpg, load_digits, standardize, train_test_split
+
+
+class TestAutoMpg:
+    def test_shapes_and_ranges(self):
+        x, y = load_auto_mpg(200, seed=0)
+        assert x.shape == (200, 7)
+        assert y.shape == (200, 1)
+        assert np.all(x >= 0) and np.all(x <= 1)
+        assert np.all(y >= 0) and np.all(y <= 1)
+
+    def test_deterministic_under_seed(self):
+        x1, y1 = load_auto_mpg(50, seed=3)
+        x2, y2 = load_auto_mpg(50, seed=3)
+        assert np.array_equal(x1, x2)
+        assert np.array_equal(y1, y2)
+
+    def test_seed_changes_data(self):
+        x1, _ = load_auto_mpg(50, seed=1)
+        x2, _ = load_auto_mpg(50, seed=2)
+        assert not np.array_equal(x1, x2)
+
+    def test_weight_correlates_negatively_with_mpg(self):
+        x, y = load_auto_mpg(2000, seed=0, noise=0.0)
+        weight = x[:, 3]
+        corr = np.corrcoef(weight, y[:, 0])[0, 1]
+        assert corr < -0.4
+
+    def test_model_year_correlates_positively(self):
+        x, y = load_auto_mpg(2000, seed=0, noise=0.0)
+        corr = np.corrcoef(x[:, 5], y[:, 0])[0, 1]
+        assert corr > 0.2
+
+    def test_linear_model_learns_it(self):
+        x, y = load_auto_mpg(500, seed=0)
+        xa = np.hstack([x, np.ones((500, 1))])
+        coef, *_ = np.linalg.lstsq(xa, y, rcond=None)
+        resid = y - xa @ coef
+        assert resid.std() < y.std() * 0.7
+
+
+class TestDigits:
+    def test_shapes_and_ranges(self):
+        x, y = load_digits(100, size=12, seed=0)
+        assert x.shape == (100, 1, 12, 12)
+        assert y.shape == (100,)
+        assert x.min() >= 0.0 and x.max() <= 1.0
+        assert set(np.unique(y)).issubset(set(range(10)))
+
+    def test_deterministic_under_seed(self):
+        x1, y1 = load_digits(30, seed=5)
+        x2, y2 = load_digits(30, seed=5)
+        assert np.array_equal(x1, x2)
+        assert np.array_equal(y1, y2)
+
+    def test_classes_visually_distinct(self):
+        """Mean images of 0 and 1 must differ substantially."""
+        x, y = load_digits(600, size=14, seed=0, noise=0.0)
+        mean0 = x[y == 0].mean(axis=0)
+        mean1 = x[y == 1].mean(axis=0)
+        assert np.abs(mean0 - mean1).mean() > 0.05
+
+    def test_intra_class_variation(self):
+        x, y = load_digits(300, size=14, seed=0, noise=0.0)
+        zeros = x[y == 0]
+        assert zeros.shape[0] > 5
+        assert zeros.std(axis=0).max() > 0.05
+
+    def test_nearest_centroid_beats_chance(self):
+        x, y = load_digits(800, size=14, seed=0)
+        flat = x.reshape(len(x), -1)
+        train_n = 600
+        cents = np.stack(
+            [flat[:train_n][y[:train_n] == c].mean(axis=0) for c in range(10)]
+        )
+        d = ((flat[train_n:, None, :] - cents[None]) ** 2).sum(axis=2)
+        acc = (d.argmin(axis=1) == y[train_n:]).mean()
+        assert acc > 0.5
+
+
+class TestSplits:
+    def test_split_sizes(self):
+        x = np.arange(100).reshape(100, 1).astype(float)
+        y = x.copy()
+        xt, yt, xe, ye = train_test_split(x, y, test_fraction=0.2, seed=0)
+        assert len(xe) == 20
+        assert len(xt) == 80
+        assert set(xt.ravel()) | set(xe.ravel()) == set(range(100))
+
+    def test_invalid_fraction(self):
+        x = np.zeros((10, 1))
+        with pytest.raises(ValueError):
+            train_test_split(x, x, test_fraction=1.5)
+
+    def test_standardize(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5.0, 2.0, (200, 3))
+        xs, _, mean, std = standardize(x)
+        assert np.allclose(xs.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(xs.std(axis=0), 1.0, atol=1e-6)
+
+    def test_standardize_applies_train_stats_to_test(self):
+        rng = np.random.default_rng(1)
+        x_tr = rng.normal(0, 1, (100, 2))
+        x_te = rng.normal(0, 1, (20, 2))
+        xs_tr, xs_te, mean, std = standardize(x_tr, x_te)
+        assert np.allclose(xs_te, (x_te - mean) / std)

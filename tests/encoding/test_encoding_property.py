@@ -1,0 +1,80 @@
+"""Property tests: encoded optima vs exhaustive sampling on random nets."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounds import Box
+from repro.encoding import encode_itne
+from repro.milp.expr import Var
+from repro.nn.affine import AffineLayer, affine_chain_forward
+
+
+def _chain_from(seed: int, depth: int, width: int):
+    rng = np.random.default_rng(seed)
+    dims = [2] + [width] * (depth - 1) + [1]
+    return [
+        AffineLayer(
+            rng.standard_normal((dims[i + 1], dims[i])) / np.sqrt(dims[i]),
+            0.3 * rng.standard_normal(dims[i + 1]),
+            relu=i < depth - 1,
+        )
+        for i in range(depth)
+    ]
+
+
+def _opt(enc, sense):
+    h = enc.output_distance[0]
+    expr = h.to_expr() if isinstance(h, Var) else h
+    enc.model.set_objective(expr, sense=sense)
+    return enc.model.solve().require_optimal().objective
+
+
+@given(
+    seed=st.integers(0, 10**6),
+    depth=st.integers(2, 3),
+    width=st.integers(2, 3),
+)
+@settings(max_examples=20, deadline=None)
+def test_exact_itne_bounds_all_sampled_pairs(seed, depth, width):
+    layers = _chain_from(seed, depth, width)
+    box = Box.uniform(2, -1.0, 1.0)
+    delta = 0.08
+    hi = _opt(encode_itne(layers, box, delta), "max")
+    lo = _opt(encode_itne(layers, box, delta), "min")
+
+    rng = np.random.default_rng(seed ^ 0xABCD)
+    for _ in range(150):
+        x = box.sample(rng)[0]
+        xh = np.clip(x + rng.uniform(-delta, delta, 2), box.lo, box.hi)
+        d = affine_chain_forward(layers, xh)[0] - affine_chain_forward(layers, x)[0]
+        assert lo - 1e-7 <= d <= hi + 1e-7
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=15, deadline=None)
+def test_relaxed_contains_exact(seed):
+    layers = _chain_from(seed, depth=3, width=3)
+    box = Box.uniform(2, -1.0, 1.0)
+    delta = 0.08
+    exact_hi = _opt(encode_itne(layers, box, delta), "max")
+    masks = [np.zeros(l.out_dim, bool) for l in layers]
+    relaxed_hi = _opt(encode_itne(layers, box, delta, refine_mask=masks), "max")
+    assert relaxed_hi >= exact_hi - 1e-7
+
+
+@given(seed=st.integers(0, 10**6), frac=st.floats(0.2, 0.8))
+@settings(max_examples=15, deadline=None)
+def test_partial_refinement_monotone(seed, frac):
+    """Refining any subset lands between fully-relaxed and exact."""
+    layers = _chain_from(seed, depth=3, width=4)
+    box = Box.uniform(2, -1.0, 1.0)
+    delta = 0.08
+    rng = np.random.default_rng(seed)
+    masks_part = [rng.random(l.out_dim) < frac for l in layers]
+    masks_none = [np.zeros(l.out_dim, bool) for l in layers]
+
+    exact_hi = _opt(encode_itne(layers, box, delta), "max")
+    part_hi = _opt(encode_itne(layers, box, delta, refine_mask=masks_part), "max")
+    none_hi = _opt(encode_itne(layers, box, delta, refine_mask=masks_none), "max")
+    assert exact_hi - 1e-7 <= part_hi <= none_hi + 1e-7

@@ -1,0 +1,126 @@
+"""Additional branch-and-bound edge cases and dual-bound behaviour."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.milp import Model, SolveStatus
+from repro.milp.branch_bound import BranchBoundBackend
+
+
+class TestBranchBoundEdgeCases:
+    def test_pure_lp_short_circuits(self):
+        m = Model()
+        x = m.add_var(lb=0, ub=5)
+        m.set_objective(x, sense="max")
+        r = BranchBoundBackend().solve(m)
+        assert r.is_optimal
+        assert r.objective == pytest.approx(5.0)
+        assert r.nodes == 0
+
+    def test_all_integer_problem(self):
+        m = Model()
+        xs = [m.add_var(lb=0, ub=3, vtype="integer") for _ in range(3)]
+        m.add_constr(sum(x for x in xs) <= 5)
+        m.set_objective(sum((i + 1) * x for i, x in enumerate(xs)), sense="max")
+        r = m.solve(backend="python")
+        assert r.is_optimal
+        # Greedy optimum: put everything on the highest coefficient.
+        assert r.objective == pytest.approx(3 * 3 + 2 * 2)
+
+    def test_infeasible_integrality(self):
+        m = Model()
+        x = m.add_var(lb=0, ub=1, vtype="integer")
+        m.add_constr(x >= 0.25)
+        m.add_constr(x <= 0.75)
+        r = m.solve(backend="python")
+        assert r.status is SolveStatus.INFEASIBLE
+
+    def test_time_limit_reports_status(self):
+        rng = np.random.default_rng(0)
+        m = Model()
+        xs = [m.add_var(lb=0, ub=1, vtype="binary") for _ in range(30)]
+        w = rng.uniform(0.5, 2.0, 30)
+        m.add_constr(sum(float(wi) * x for wi, x in zip(w, xs)) <= 12.3456)
+        m.set_objective(
+            sum(float(v) * x for v, x in zip(rng.uniform(1, 3, 30), xs)), sense="max"
+        )
+        r = BranchBoundBackend().solve(m, time_limit=1e-4)
+        assert r.status in (
+            SolveStatus.TIME_LIMIT,
+            SolveStatus.OPTIMAL,  # may finish if the relaxation is integral
+        )
+
+    def test_bound_set_on_optimal(self):
+        m = Model()
+        x = m.add_var(lb=0, ub=4, vtype="integer")
+        m.add_constr(2 * x <= 7)
+        m.set_objective(x, sense="max")
+        r = m.solve(backend="python")
+        assert r.is_optimal
+        assert r.bound == pytest.approx(r.objective)
+
+    def test_mip_gap_early_stop(self):
+        m = Model()
+        xs = [m.add_var(vtype="binary") for _ in range(8)]
+        m.add_constr(sum(1.3 * x for x in xs) <= 5.1)
+        m.set_objective(sum(x for x in xs), sense="max")
+        r = m.solve(backend="python", mip_gap=0.5)
+        assert r.is_optimal or r.status is SolveStatus.ITERATION_LIMIT
+        assert r.objective >= 1.0  # found something reasonable
+
+
+class TestScipyDualBound:
+    def test_bound_matches_objective_when_proven(self):
+        m = Model()
+        x = m.add_var(lb=0, ub=10, vtype="integer")
+        m.add_constr(3 * x <= 10)
+        m.set_objective(x, sense="max")
+        r = m.solve(backend="scipy")
+        assert r.is_optimal
+        assert r.objective == pytest.approx(3.0)
+        assert r.bound >= r.objective - 1e-7
+
+    def test_lp_bound_equals_objective(self):
+        m = Model()
+        x = m.add_var(lb=0, ub=2)
+        m.set_objective(x, sense="min")
+        r = m.solve()
+        assert r.bound == pytest.approx(r.objective)
+
+    def test_max_bound_is_upper(self):
+        """For maximization the sound bound must be >= the incumbent."""
+        rng = np.random.default_rng(1)
+        m = Model()
+        xs = [m.add_var(vtype="binary") for _ in range(12)]
+        w = rng.uniform(0.5, 2, 12)
+        m.add_constr(sum(float(wi) * x for wi, x in zip(w, xs)) <= 6.17)
+        m.set_objective(
+            sum(float(v) * x for v, x in zip(rng.uniform(1, 2, 12), xs)),
+            sense="max",
+        )
+        r = m.solve(backend="scipy")
+        assert r.bound >= r.objective - 1e-6
+
+    def test_min_bound_is_lower(self):
+        rng = np.random.default_rng(2)
+        m = Model()
+        xs = [m.add_var(vtype="binary") for _ in range(12)]
+        w = rng.uniform(0.5, 2, 12)
+        m.add_constr(sum(float(wi) * x for wi, x in zip(w, xs)) >= 4.0)
+        m.set_objective(
+            sum(float(v) * x for v, x in zip(rng.uniform(1, 2, 12), xs)),
+            sense="min",
+        )
+        r = m.solve(backend="scipy")
+        assert r.bound <= r.objective + 1e-6
+
+    def test_solve_many_bounds_transformed(self):
+        m = Model()
+        x = m.add_var(lb=0, ub=3, vtype="integer")
+        y = m.add_var(lb=0, ub=3)
+        m.add_constr(x + y <= 4.5)
+        results = m.solve_many([(x + y, "max"), (x + y, "min")])
+        assert results[0].bound >= results[0].objective - 1e-7
+        assert results[1].bound <= results[1].objective + 1e-7

@@ -1,0 +1,131 @@
+"""Unit tests for the layer zoo: shapes, forward, affine export."""
+
+import numpy as np
+import pytest
+
+from repro.nn import AvgPool2D, Conv2D, Dense, Flatten, Normalize
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestDense:
+    def test_forward_shape(self, rng):
+        layer = Dense(3, 5, rng=rng)
+        out = layer.forward(rng.standard_normal((4, 3)))
+        assert out.shape == (4, 5)
+
+    def test_relu_clamps(self, rng):
+        layer = Dense(3, 5, relu=True, rng=rng)
+        out = layer.forward(rng.standard_normal((10, 3)))
+        assert np.all(out >= 0.0)
+
+    def test_output_shape_validation(self, rng):
+        layer = Dense(3, 5, rng=rng)
+        with pytest.raises(ValueError):
+            layer.output_shape((4,))
+
+    def test_as_affine_matches_forward(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        w, b = layer.as_affine((3,))
+        x = rng.standard_normal(3)
+        assert np.allclose(w @ x + b, layer.forward(x[None])[0])
+
+    def test_pre_activation_ignores_relu(self, rng):
+        layer = Dense(2, 2, relu=True, rng=rng)
+        x = rng.standard_normal((1, 2))
+        y = layer.pre_activation(x)
+        assert np.allclose(np.maximum(y, 0), layer.forward(x))
+
+
+class TestConv2D:
+    def test_output_shape(self, rng):
+        layer = Conv2D(2, 4, kernel_size=3, rng=rng)
+        assert layer.output_shape((2, 8, 8)) == (4, 6, 6)
+
+    def test_padding_preserves_size(self, rng):
+        layer = Conv2D(1, 3, kernel_size=3, padding=1, rng=rng)
+        assert layer.output_shape((1, 8, 8)) == (3, 8, 8)
+
+    def test_stride(self, rng):
+        layer = Conv2D(1, 2, kernel_size=3, stride=2, rng=rng)
+        assert layer.output_shape((1, 9, 9)) == (2, 4, 4)
+
+    def test_channel_mismatch_rejected(self, rng):
+        layer = Conv2D(3, 4, rng=rng)
+        with pytest.raises(ValueError):
+            layer.output_shape((2, 8, 8))
+
+    def test_kernel_too_large(self, rng):
+        layer = Conv2D(1, 1, kernel_size=9, rng=rng)
+        with pytest.raises(ValueError):
+            layer.output_shape((1, 4, 4))
+
+    def test_forward_matches_naive_conv(self, rng):
+        layer = Conv2D(2, 3, kernel_size=3, rng=rng)
+        x = rng.standard_normal((1, 2, 5, 5))
+        out = layer.forward(x)
+        # Naive reference implementation.
+        ref = np.zeros((1, 3, 3, 3))
+        for oc in range(3):
+            for i in range(3):
+                for j in range(3):
+                    patch = x[0, :, i : i + 3, j : j + 3]
+                    ref[0, oc, i, j] = np.sum(patch * layer.weight[oc]) + layer.bias[oc]
+        assert np.allclose(out, ref)
+
+    def test_as_affine_matches_forward(self, rng):
+        layer = Conv2D(1, 2, kernel_size=3, padding=1, rng=rng)
+        w, b = layer.as_affine((1, 4, 4))
+        x = rng.standard_normal((1, 1, 4, 4))
+        flat = w @ x.reshape(-1) + b
+        assert np.allclose(flat, layer.forward(x).reshape(-1))
+
+
+class TestAvgPool2D:
+    def test_forward_mean(self):
+        layer = AvgPool2D(2)
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        assert out.shape == (1, 1, 2, 2)
+        assert out[0, 0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            AvgPool2D(2).output_shape((1, 5, 4))
+
+    def test_as_affine_matches_forward(self):
+        layer = AvgPool2D(2)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((1, 2, 4, 4))
+        w, b = layer.as_affine((2, 4, 4))
+        assert np.allclose(w @ x.reshape(-1) + b, layer.forward(x).reshape(-1))
+
+
+class TestFlattenNormalize:
+    def test_flatten_roundtrip(self):
+        layer = Flatten()
+        x = np.arange(24, dtype=float).reshape(2, 1, 3, 4)
+        out = layer.forward(x, training=True)
+        assert out.shape == (2, 12)
+        back = layer.backward(out)
+        assert back.shape == x.shape
+
+    def test_normalize_affine(self):
+        layer = Normalize(scale=2.0, shift=-1.0)
+        x = np.array([[0.0, 0.5, 1.0]])
+        assert np.allclose(layer.forward(x), [[-1.0, 0.0, 1.0]])
+
+    def test_normalize_broadcast_shapes(self):
+        layer = Normalize(scale=np.array([1.0, 2.0]), shift=0.0)
+        assert layer.output_shape((2,)) == (2,)
+        w, b = layer.as_affine((2,))
+        assert np.allclose(w, np.diag([1.0, 2.0]))
+
+    def test_normalize_as_affine_image(self):
+        layer = Normalize(scale=0.5, shift=0.25)
+        w, b = layer.as_affine((1, 2, 2))
+        x = np.arange(4, dtype=float)
+        assert np.allclose(w @ x + b, 0.5 * x + 0.25)

@@ -1,0 +1,94 @@
+"""Lipschitz capping and gain estimation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2D, Dense, Flatten, Network, TrainConfig, train
+from repro.nn.lipschitz import (
+    linf_gain_upper_bound,
+    make_row_norm_projector,
+    project_row_norms,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestProjection:
+    def test_dense_rows_capped(self, rng):
+        net = Network((4,), [Dense(4, 3, rng=rng)])
+        net.layers[0].weight[...] = rng.uniform(1, 2, (3, 4))
+        project_row_norms(net, [1.5])
+        assert np.abs(net.layers[0].weight).sum(axis=1).max() <= 1.5 + 1e-9
+
+    def test_rows_below_cap_untouched(self, rng):
+        net = Network((4,), [Dense(4, 2, rng=rng)])
+        net.layers[0].weight[...] = 0.01
+        before = net.layers[0].weight.copy()
+        project_row_norms(net, [5.0])
+        assert np.array_equal(before, net.layers[0].weight)
+
+    def test_conv_kernels_capped(self, rng):
+        net = Network((1, 6, 6), [Conv2D(1, 2, 3, rng=rng), Flatten(), Dense(32, 1, rng=rng)])
+        net.layers[0].weight[...] = 1.0  # kernel L1 = 9 per channel
+        project_row_norms(net, [2.0, 10.0])
+        per_channel = np.abs(net.layers[0].weight).sum(axis=(1, 2, 3))
+        assert per_channel.max() <= 2.0 + 1e-9
+
+    def test_cap_count_mismatch(self, rng):
+        net = Network((4,), [Dense(4, 2, rng=rng)])
+        with pytest.raises(ValueError):
+            project_row_norms(net, [1.0, 1.0])
+
+    def test_nonpositive_cap(self, rng):
+        net = Network((4,), [Dense(4, 2, rng=rng)])
+        with pytest.raises(ValueError):
+            project_row_norms(net, [0.0])
+
+
+class TestGainBound:
+    def test_gain_product(self, rng):
+        net = Network((2,), [Dense(2, 2, relu=True, rng=rng), Dense(2, 1, rng=rng)])
+        net.layers[0].weight[...] = np.array([[1.0, -1.0], [0.5, 0.5]])
+        net.layers[1].weight[...] = np.array([[2.0, 0.0]])
+        assert linf_gain_upper_bound(net) == pytest.approx(4.0)
+
+    def test_gain_is_sound(self, rng):
+        """Sampled per-pair variation never exceeds delta * L."""
+        net = Network((3,), [Dense(3, 4, relu=True, rng=rng), Dense(4, 1, rng=rng)])
+        gain = linf_gain_upper_bound(net)
+        delta = 0.05
+        for _ in range(200):
+            x = rng.uniform(-1, 1, 3)
+            xh = x + rng.uniform(-delta, delta, 3)
+            d = abs(net.predict(xh)[0] - net.predict(x)[0])
+            assert d <= delta * gain + 1e-9
+
+
+class TestTrainingWithProjection:
+    def test_caps_hold_after_training(self, rng):
+        x = rng.uniform(0, 1, (200, 3))
+        y = (x.sum(axis=1, keepdims=True)) / 3
+        net = Network((3,), [Dense(3, 6, relu=True, rng=rng), Dense(6, 1, rng=rng)])
+        caps = [1.5, 1.2]
+        train(
+            net, x, y,
+            config=TrainConfig(epochs=30, batch_size=32),
+            post_step=make_row_norm_projector(caps),
+        )
+        assert np.abs(net.layers[0].weight).sum(axis=1).max() <= caps[0] + 1e-9
+        assert np.abs(net.layers[1].weight).sum(axis=1).max() <= caps[1] + 1e-9
+        assert linf_gain_upper_bound(net) <= caps[0] * caps[1] + 1e-6
+
+    def test_capped_net_still_learns(self, rng):
+        x = rng.uniform(0, 1, (300, 2))
+        y = 0.5 * x[:, :1] + 0.25 * x[:, 1:]
+        net = Network((2,), [Dense(2, 6, relu=True, rng=rng), Dense(6, 1, rng=rng)])
+        hist = train(
+            net, x, y,
+            config=TrainConfig(epochs=80, batch_size=32),
+            post_step=make_row_norm_projector([2.0, 2.0]),
+        )
+        assert hist.final_loss < 0.01

@@ -1,0 +1,164 @@
+"""Network container tests: forward, affine export, gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import AvgPool2D, Conv2D, Dense, Flatten, Network, Normalize
+from repro.nn.affine import AffineLayer, affine_chain_forward, chain_dims, merge_affine_chain
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(3)
+
+
+@pytest.fixture()
+def conv_net(rng):
+    return Network(
+        (1, 8, 8),
+        [
+            Normalize(scale=0.5, shift=0.0),
+            Conv2D(1, 3, kernel_size=3, padding=1, relu=True, rng=rng),
+            AvgPool2D(2),
+            Conv2D(3, 4, kernel_size=3, relu=True, rng=rng),
+            Flatten(),
+            Dense(4 * 2 * 2, 5, relu=True, rng=rng),
+            Dense(5, 2, rng=rng),
+        ],
+    )
+
+
+@pytest.fixture()
+def dense_net(rng):
+    return Network((3,), [Dense(3, 4, relu=True, rng=rng), Dense(4, 2, rng=rng)])
+
+
+class TestNetworkBasics:
+    def test_shapes(self, conv_net):
+        assert conv_net.input_shape == (1, 8, 8)
+        assert conv_net.output_shape == (2,)
+        assert conv_net.input_dim == 64
+        assert conv_net.output_dim == 2
+
+    def test_invalid_chain_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Network((3,), [Dense(4, 2, rng=rng)])
+
+    def test_hidden_neuron_count(self, dense_net):
+        assert dense_net.num_hidden_neurons() == 4
+
+    def test_hidden_neuron_count_conv(self, conv_net):
+        # relu layers: conv1 (3x8x8=192), conv2 (4x2x2=16), dense (5)
+        assert conv_net.num_hidden_neurons() == 192 + 16 + 5
+
+    def test_forward_accepts_flat_input(self, conv_net, rng):
+        x = rng.standard_normal((2, 64))
+        out = conv_net.forward(x)
+        assert out.shape == (2, 2)
+
+    def test_predict_single(self, dense_net, rng):
+        y = dense_net.predict(rng.standard_normal(3))
+        assert y.shape == (2,)
+
+    def test_num_parameters(self, dense_net):
+        assert dense_net.num_parameters() == 3 * 4 + 4 + 4 * 2 + 2
+
+    def test_int_input_shape(self, rng):
+        net = Network(3, [Dense(3, 1, rng=rng)])
+        assert net.input_shape == (3,)
+
+
+class TestAffineExport:
+    def test_affine_chain_equivalence(self, conv_net, rng):
+        chain = conv_net.to_affine_layers()
+        x = rng.standard_normal((5, 1, 8, 8))
+        expected = conv_net.forward(x)
+        got = affine_chain_forward(chain, x.reshape(5, -1))
+        assert np.allclose(expected, got, atol=1e-10)
+
+    def test_compact_merges_linear_stages(self, conv_net):
+        compact = conv_net.to_affine_layers(compact=True)
+        raw = conv_net.to_affine_layers(compact=False)
+        assert len(compact) < len(raw)
+        # Every boundary except the last must be a ReLU after merging.
+        assert all(layer.relu for layer in compact[:-1])
+
+    def test_chain_dims(self, conv_net):
+        chain = conv_net.to_affine_layers()
+        dims = chain_dims(chain)
+        assert dims[0] == 64
+        assert dims[-1] == 2
+
+    def test_merge_correctness_random_chain(self, rng):
+        layers = [
+            AffineLayer(rng.standard_normal((4, 3)), rng.standard_normal(4), False),
+            AffineLayer(rng.standard_normal((5, 4)), rng.standard_normal(5), True),
+            AffineLayer(rng.standard_normal((2, 5)), rng.standard_normal(2), False),
+            AffineLayer(rng.standard_normal((2, 2)), rng.standard_normal(2), False),
+        ]
+        merged = merge_affine_chain(layers)
+        assert len(merged) == 2
+        x = rng.standard_normal((7, 3))
+        assert np.allclose(
+            affine_chain_forward(layers, x), affine_chain_forward(merged, x)
+        )
+
+    def test_affine_layer_validation(self):
+        with pytest.raises(ValueError):
+            AffineLayer(np.zeros((2, 2)), np.zeros(3), False)
+        with pytest.raises(ValueError):
+            AffineLayer(np.zeros(4), np.zeros(2), False)
+
+    def test_empty_chain_dims(self):
+        with pytest.raises(ValueError):
+            chain_dims([])
+
+
+class TestGradients:
+    def test_dense_input_gradient_matches_fd(self, dense_net, rng):
+        x0 = rng.standard_normal(3)
+        w = np.array([0.7, -1.3])
+        grad = dense_net.input_gradient(x0, w)
+        eps = 1e-6
+        for i in range(3):
+            xp, xm = x0.copy(), x0.copy()
+            xp[i] += eps
+            xm[i] -= eps
+            fd = (w @ dense_net.predict(xp) - w @ dense_net.predict(xm)) / (2 * eps)
+            assert grad[i] == pytest.approx(fd, abs=1e-6)
+
+    def test_conv_input_gradient_matches_fd(self, rng):
+        net = Network(
+            (1, 5, 5),
+            [
+                Conv2D(1, 2, kernel_size=3, relu=True, rng=rng),
+                Flatten(),
+                Dense(2 * 3 * 3, 1, rng=rng),
+            ],
+        )
+        x0 = rng.standard_normal((1, 5, 5))
+        grad = net.input_gradient(x0, np.ones(1)).reshape(-1)
+        eps = 1e-6
+        flat = x0.reshape(-1)
+        for i in range(0, 25, 5):
+            xp, xm = flat.copy(), flat.copy()
+            xp[i] += eps
+            xm[i] -= eps
+            fd = (
+                net.predict(xp.reshape(1, 5, 5))[0]
+                - net.predict(xm.reshape(1, 5, 5))[0]
+            ) / (2 * eps)
+            assert grad[i] == pytest.approx(fd, abs=1e-6)
+
+    def test_batched_input_gradient(self, dense_net, rng):
+        xs = rng.standard_normal((4, 3))
+        grads = dense_net.input_gradient(xs, np.array([1.0, 0.0]))
+        assert grads.shape == (4, 3)
+        single = dense_net.input_gradient(xs[0], np.array([1.0, 0.0]))
+        assert np.allclose(grads[0], single)
+
+    def test_backward_requires_training_forward(self, rng):
+        layer = Dense(2, 2, relu=True, rng=rng)
+        layer.forward(rng.standard_normal((1, 2)), training=False)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))

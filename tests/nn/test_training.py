@@ -1,0 +1,143 @@
+"""Losses, optimizers, and the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    Dense,
+    MeanSquaredError,
+    Network,
+    SoftmaxCrossEntropy,
+    TrainConfig,
+    train,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestLosses:
+    def test_mse_zero_at_match(self):
+        loss = MeanSquaredError()
+        pred = np.array([[1.0, 2.0]])
+        assert loss.value(pred, pred) == 0.0
+
+    def test_mse_gradient_matches_fd(self, rng):
+        loss = MeanSquaredError()
+        pred = rng.standard_normal((3, 2))
+        target = rng.standard_normal((3, 2))
+        grad = loss.gradient(pred, target)
+        eps = 1e-6
+        p = pred.copy()
+        p[1, 0] += eps
+        fd = (loss.value(p, target) - loss.value(pred, target)) / eps
+        assert grad[1, 0] == pytest.approx(fd, abs=1e-5)
+
+    def test_cross_entropy_decreases_with_confidence(self):
+        loss = SoftmaxCrossEntropy()
+        target = np.array([1])
+        weak = np.array([[0.0, 0.1]])
+        strong = np.array([[0.0, 5.0]])
+        assert loss.value(strong, target) < loss.value(weak, target)
+
+    def test_cross_entropy_gradient_matches_fd(self, rng):
+        loss = SoftmaxCrossEntropy()
+        pred = rng.standard_normal((4, 3))
+        target = np.array([0, 2, 1, 1])
+        grad = loss.gradient(pred.copy(), target)
+        eps = 1e-6
+        p = pred.copy()
+        p[2, 1] += eps
+        fd = (loss.value(p, target) - loss.value(pred, target)) / eps
+        assert grad[2, 1] == pytest.approx(fd, abs=1e-5)
+
+    def test_accuracy(self):
+        pred = np.array([[2.0, 1.0], [0.0, 3.0]])
+        assert SoftmaxCrossEntropy.accuracy(pred, np.array([0, 1])) == 1.0
+        assert SoftmaxCrossEntropy.accuracy(pred, np.array([1, 1])) == 0.5
+
+    def test_softmax_stability_large_logits(self):
+        loss = SoftmaxCrossEntropy()
+        pred = np.array([[1000.0, 0.0]])
+        value = loss.value(pred, np.array([0]))
+        assert np.isfinite(value)
+
+
+class TestOptimizers:
+    def _quadratic_descent(self, optimizer, steps=300):
+        """Minimize f(w) = ||w - 3||^2 with the given optimizer."""
+        w = np.zeros(4)
+        for _ in range(steps):
+            grad = 2 * (w - 3.0)
+            optimizer.step([(w, grad)])
+        return w
+
+    def test_sgd_converges(self):
+        w = self._quadratic_descent(SGD(lr=0.1))
+        assert np.allclose(w, 3.0, atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        w = self._quadratic_descent(SGD(lr=0.05, momentum=0.9))
+        assert np.allclose(w, 3.0, atol=1e-2)
+
+    def test_adam_converges(self):
+        w = self._quadratic_descent(Adam(lr=0.1), steps=600)
+        assert np.allclose(w, 3.0, atol=1e-2)
+
+    def test_weight_decay_shrinks(self):
+        w = np.full(2, 10.0)
+        opt = Adam(lr=0.01, weight_decay=0.5)
+        for _ in range(100):
+            opt.step([(w, np.zeros(2))])
+        assert np.all(np.abs(w) < 10.0)
+
+    def test_sgd_weight_decay(self):
+        w = np.full(2, 1.0)
+        opt = SGD(lr=0.1, weight_decay=1.0)
+        opt.step([(w, np.zeros(2))])
+        assert np.all(w < 1.0)
+
+
+class TestTrainLoop:
+    def test_regression_loss_decreases(self, rng):
+        x = rng.standard_normal((300, 2))
+        y = x[:, :1] * 0.5 - x[:, 1:] * 0.25
+        net = Network((2,), [Dense(2, 8, relu=True, rng=rng), Dense(8, 1, rng=rng)])
+        hist = train(net, x, y, config=TrainConfig(epochs=100, batch_size=32))
+        assert hist.final_loss < hist.losses[0] * 0.2
+
+    def test_classification_learns(self, rng):
+        # Two well-separated Gaussian blobs.
+        n = 200
+        x = np.vstack(
+            [rng.normal(-2, 0.5, (n, 2)), rng.normal(2, 0.5, (n, 2))]
+        )
+        y = np.concatenate([np.zeros(n), np.ones(n)]).astype(int)
+        net = Network((2,), [Dense(2, 8, relu=True, rng=rng), Dense(8, 2, rng=rng)])
+        train(
+            net,
+            x,
+            y,
+            loss=SoftmaxCrossEntropy(),
+            config=TrainConfig(epochs=60, batch_size=32),
+        )
+        acc = SoftmaxCrossEntropy.accuracy(net.forward(x), y)
+        assert acc > 0.95
+
+    def test_validation_tracking(self, rng):
+        x = rng.standard_normal((100, 2))
+        y = x[:, :1]
+        net = Network((2,), [Dense(2, 4, relu=True, rng=rng), Dense(4, 1, rng=rng)])
+        hist = train(
+            net, x, y, config=TrainConfig(epochs=5), x_val=x[:20], y_val=y[:20]
+        )
+        assert len(hist.val_losses) == 5
+
+    def test_history_empty_loss(self):
+        from repro.nn.train import TrainHistory
+
+        assert np.isnan(TrainHistory().final_loss)

@@ -1,0 +1,67 @@
+"""CLI smoke tests."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.nn import Dense, Network, save_network
+
+
+@pytest.fixture(scope="module")
+def model_path(tmp_path_factory):
+    rng = np.random.default_rng(0)
+    net = Network(
+        (3,), [Dense(3, 4, relu=True, rng=rng), Dense(4, 2, rng=rng)]
+    )
+    path = tmp_path_factory.mktemp("cli") / "model.npz"
+    save_network(net, path)
+    return str(path)
+
+
+class TestCli:
+    def test_info(self, model_path, capsys):
+        assert main(["info", model_path]) == 0
+        out = capsys.readouterr().out
+        assert "hidden ReLU neurons" in out
+        assert "L-inf gain" in out
+
+    def test_certify_algorithm1(self, model_path, capsys):
+        code = main(
+            ["certify", model_path, "--delta", "0.01", "--window", "2",
+             "--refine", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "itne-nd-lpr" in out
+        assert "output 1" in out
+
+    def test_certify_exact(self, model_path, capsys):
+        assert main(["certify", model_path, "--delta", "0.01",
+                     "--method", "exact"]) == 0
+        assert "exact" in capsys.readouterr().out
+
+    def test_certify_reluplex(self, model_path, capsys):
+        assert main(["certify", model_path, "--delta", "0.01",
+                     "--method", "reluplex"]) == 0
+        assert "reluplex" in capsys.readouterr().out
+
+    def test_attack(self, model_path, capsys):
+        assert main(
+            ["attack", model_path, "--delta", "0.05", "--samples", "3",
+             "--steps", "5"]
+        ) == 0
+        assert "pgd-under" in capsys.readouterr().out
+
+    def test_exact_dominates_cli_roundtrip(self, model_path, capsys):
+        """Certify twice via CLI and parse: ours >= exact."""
+        main(["certify", model_path, "--delta", "0.01", "--method", "exact"])
+        exact_out = capsys.readouterr().out
+        main(["certify", model_path, "--delta", "0.01"])
+        ours_out = capsys.readouterr().out
+
+        def worst(text):
+            vals = [float(line.rsplit("=", 1)[1])
+                    for line in text.splitlines() if "output" in line]
+            return max(vals)
+
+        assert worst(ours_out) >= worst(exact_out) - 1e-9

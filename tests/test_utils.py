@@ -1,0 +1,35 @@
+"""Utility helpers: timer and table formatting."""
+
+import time
+
+from repro.utils import Timer, format_table
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.01
+
+    def test_zero_before_use(self):
+        assert Timer().elapsed == 0.0
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "long_header"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) or "-" in l for l in lines)
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_cell_stringification(self):
+        out = format_table(["v"], [[3.14159]])
+        assert "3.14159" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
