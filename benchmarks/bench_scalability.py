@@ -6,6 +6,11 @@ runtime against network width for the exact twin MILP, the
 Reluplex-style solver, and Algorithm 1, on freshly trained regressors.
 The shape to reproduce: exact curves grow superlinearly (×10+ per size
 doubling), ours stays polynomial.
+
+The Algorithm 1 runs go through the batch certification engine
+(:class:`repro.runtime.BatchCertifier`): one independent global query
+per network size, fanned across worker processes with per-query timing
+measured inside the worker.
 """
 
 import numpy as np
@@ -21,6 +26,7 @@ from repro.certify import (
 )
 from repro.data import load_auto_mpg
 from repro.nn import Dense, Network, TrainConfig, train
+from repro.runtime import BatchCertifier, global_query
 from repro.utils import Timer, format_table
 
 
@@ -45,15 +51,15 @@ def test_scalability(report, benchmark):
     exact_cutoff = 16 if not full_mode() else 32
     reluplex_cutoff = 8 if not full_mode() else 12
 
-    rows = []
-    ours_times = []
-    exact_times = []
+    box = Box.uniform(7, 0.0, 1.0)
+    delta = 0.001
+
     nets = {}
+    baseline_times = {}
+    exact_times = []
     for hidden in sizes:
         net = make_trained(hidden)
         nets[hidden] = net
-        box = Box.uniform(7, 0.0, 1.0)
-        delta = 0.001
 
         t_reluplex = None
         if hidden <= reluplex_cutoff:
@@ -67,14 +73,30 @@ def test_scalability(report, benchmark):
                 certify_exact_global(net, box, delta)
             t_exact = timer.elapsed
             exact_times.append((hidden, t_exact))
+        baseline_times[hidden] = (t_reluplex, t_exact)
 
-        cfg = CertifierConfig(window=2, refine_count=min(8, hidden // 2))
-        with Timer() as timer:
-            GlobalRobustnessCertifier(net, cfg).certify(box, delta)
-        ours_times.append((hidden, timer.elapsed))
+    # Algorithm 1 for every size, fanned through the batch engine; each
+    # query's runtime is measured inside its worker.
+    queries = [
+        global_query(
+            nets[hidden], box, delta,
+            window=2, refine_count=min(8, hidden // 2),
+            tag=f"hidden={hidden}",
+        )
+        for hidden in sizes
+    ]
+    batch = BatchCertifier(max_workers=2).run(queries)
 
+    rows = []
+    ours_times = []
+    for hidden, result in zip(sizes, batch):
+        assert result.ok, result.error
+        ours_times.append((hidden, result.elapsed))
+        t_reluplex, t_exact = baseline_times[hidden]
         fmt = lambda t: f"{t:.2f}s" if t is not None else "skipped (blow-up)"
-        rows.append([hidden, fmt(t_reluplex), fmt(t_exact), f"{timer.elapsed:.2f}s"])
+        rows.append(
+            [hidden, fmt(t_reluplex), fmt(t_exact), f"{result.elapsed:.2f}s"]
+        )
 
     report(
         format_table(

@@ -14,6 +14,8 @@ Public entry points:
   :class:`repro.certify.ReluplexStyleSolver` — exact baselines.
 * :mod:`repro.nn` — numpy network substrate (train / load the models to
   certify).
+* :mod:`repro.runtime` — the parallel batch certification engine
+  (:class:`repro.runtime.BatchCertifier`).
 * :mod:`repro.control` — the closed-loop ACC safety-verification case
   study.
 

@@ -20,8 +20,12 @@ class Box:
     hi: np.ndarray
 
     def __post_init__(self) -> None:
-        self.lo = np.atleast_1d(np.asarray(self.lo, dtype=float))
-        self.hi = np.atleast_1d(np.asarray(self.hi, dtype=float))
+        # Copy unconditionally: ``np.asarray``/``np.atleast_1d`` return
+        # float64 input unchanged, so rectifying in place (below) — or
+        # any later in-place update through ``self.lo``/``self.hi`` —
+        # would silently mutate the caller's arrays.
+        self.lo = np.atleast_1d(np.array(self.lo, dtype=float))
+        self.hi = np.atleast_1d(np.array(self.hi, dtype=float))
         if self.lo.shape != self.hi.shape:
             raise ValueError(f"bound shapes differ: {self.lo.shape} vs {self.hi.shape}")
         bad = self.lo > self.hi + 1e-9
@@ -49,7 +53,7 @@ class Box:
     def point(cls, value: np.ndarray) -> "Box":
         """Degenerate box containing exactly one point."""
         value = np.asarray(value, dtype=float)
-        return cls(value.copy(), value.copy())
+        return cls(value, value)  # the constructor copies both sides
 
     # -- basic facts ------------------------------------------------------------
 

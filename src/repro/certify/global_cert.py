@@ -52,6 +52,11 @@ class CertifierConfig:
             A timed-out MILP still contributes its *dual bound*, which is
             sound for range certification, so limits never cost
             soundness — only tightness.
+        workers: Worker processes for the per-neuron solve batches.
+            Each layer's min/max objectives are independent, so with
+            ``workers > 1`` they are fanned across processes via
+            :func:`repro.runtime.batch.parallel_solve_many` (results are
+            identical to the serial path; 1 = serial, the default).
         verbose: Print per-layer progress.
     """
 
@@ -61,6 +66,7 @@ class CertifierConfig:
     couple_second_copy: bool = True
     lp_time_limit: float | None = None
     milp_time_limit: float | None = 30.0
+    workers: int = 1
     verbose: bool = False
 
 
@@ -177,9 +183,20 @@ class GlobalRobustnessCertifier:
                 [(y_expr, "min"), (y_expr, "max"), (dy_expr, "min"), (dy_expr, "max")]
             )
         time_limit = cfg.milp_time_limit if used_binaries else cfg.lp_time_limit
-        results = enc.model.solve_many(
-            objectives, backend=cfg.backend, time_limit=time_limit
-        )
+        if cfg.workers > 1:
+            from repro.runtime.batch import parallel_solve_many
+
+            results = parallel_solve_many(
+                enc.model,
+                objectives,
+                backend=cfg.backend,
+                time_limit=time_limit,
+                max_workers=cfg.workers,
+            )
+        else:
+            results = enc.model.solve_many(
+                objectives, backend=cfg.backend, time_limit=time_limit
+            )
 
         rec = table.layer(i)
         for j in range(m_i):

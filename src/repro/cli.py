@@ -7,6 +7,8 @@ Usage::
         --window 2 --refine 8
     python -m repro certify model.npz --delta 0.001 --method exact
     python -m repro attack model.npz --delta 0.01 --samples 20
+    python -m repro batch model.npz --delta 0.01 --samples 16 \
+        --method exact --workers 4
 
 Models are ``.npz`` snapshots written by
 :func:`repro.nn.serialize.save_network`.
@@ -75,6 +77,30 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="random dataset samples to attack from")
     p_att.add_argument("--steps", type=int, default=40, help="PGD steps")
     p_att.add_argument("--seed", type=int, default=0)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="certify many samples in parallel (batch engine)",
+    )
+    p_batch.add_argument("model", help="path to a .npz network snapshot")
+    p_batch.add_argument("--delta", type=float, required=True,
+                         help="L-inf input perturbation bound")
+    _add_domain_args(p_batch)
+    p_batch.add_argument(
+        "--method", choices=["exact", "nd", "lpr"], default="exact",
+        help="local certification method per sample (default: exact)",
+    )
+    p_batch.add_argument("--samples", type=int, default=8,
+                         help="random samples drawn from the domain")
+    p_batch.add_argument("--inputs", default=None,
+                         help="optional .npy file of samples (rows)")
+    p_batch.add_argument("--window", type=int, default=1,
+                         help="ND window (method=nd)")
+    p_batch.add_argument("--workers", type=int, default=None,
+                         help="worker processes (default: all cores)")
+    p_batch.add_argument("--backend", default="scipy",
+                         help="scipy | python | python:simplex")
+    p_batch.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -137,10 +163,62 @@ def _cmd_attack(args) -> int:
     return 0
 
 
+def _cmd_batch(args) -> int:
+    from repro.runtime import BatchCertifier, local_queries
+    from repro.utils import format_table
+
+    net = load_network(args.model)
+    domain = Box.uniform(net.input_dim, args.lo, args.hi)
+    if args.inputs:
+        samples = np.load(args.inputs).reshape(-1, net.input_dim)
+    else:
+        rng = np.random.default_rng(args.seed)
+        samples = domain.sample(rng, args.samples)
+    queries = local_queries(
+        net, samples, args.delta,
+        method=args.method, domain=domain, backend=args.backend,
+        window=args.window,
+    )
+    engine = BatchCertifier(max_workers=args.workers)
+    results = engine.run(
+        queries,
+        progress=lambda done, total, r: print(
+            f"[{done}/{total}] {r.tag}: "
+            + (f"eps={r.certificate.epsilon:.6g}" if r.ok else "FAILED")
+            + f" ({r.elapsed:.2f}s)",
+            file=sys.stderr,
+        ),
+    )
+    rows = []
+    for r in results:
+        if r.ok:
+            rows.append([r.tag, f"{r.certificate.epsilon:.6g}", f"{r.elapsed:.2f}s"])
+        else:
+            rows.append([r.tag, "error", f"{r.elapsed:.2f}s"])
+    print(format_table(
+        ["query", "eps", "time"], rows,
+        title=f"batch local-{args.method} certification, δ={args.delta:g} "
+        f"({len(results)} queries)",
+    ))
+    failures = [r for r in results if not r.ok]
+    ok = [r for r in results if r.ok]
+    if ok:
+        worst = max(r.certificate.epsilon for r in ok)
+        print(f"worst eps over {len(ok)} certified samples: {worst:.6g}")
+    for r in failures:
+        print(f"\nquery {r.tag} failed:\n{r.error}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
-    handlers = {"info": _cmd_info, "certify": _cmd_certify, "attack": _cmd_attack}
+    handlers = {
+        "info": _cmd_info,
+        "certify": _cmd_certify,
+        "attack": _cmd_attack,
+        "batch": _cmd_batch,
+    }
     return handlers[args.command](args)
 
 

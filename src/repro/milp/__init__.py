@@ -12,6 +12,14 @@ solving backends:
   solver built on LP relaxations, usable with either HiGHS LPs or the
   dense simplex implementation in :mod:`repro.milp.simplex`.
 
+Both backends share one result contract
+(:func:`repro.milp.solution.finalize_user_sense`): objectives are
+reported in the user's sense — including incumbents of time/node-limited
+solves — and ``SolveResult.bound`` always carries a sound dual bound.
+Constraint matrices export sparse (``Model.to_standard_form(sparse=True)``,
+CSR from COO triplets) on the HiGHS paths, dense for the simplex; multi-
+objective batches reuse one export via ``Model.solve_many`` everywhere.
+
 Typical usage::
 
     from repro.milp import Model

@@ -23,7 +23,7 @@ import numpy as np
 import scipy.optimize as sopt
 
 from repro.milp import simplex
-from repro.milp.solution import SolveResult, SolveStatus
+from repro.milp.solution import SolveResult, SolveStatus, finalize_user_sense
 
 _INT_TOL = 1e-6
 
@@ -42,8 +42,9 @@ class BranchBoundBackend:
     """Best-first branch-and-bound MILP solver.
 
     Args:
-        lp_solver: ``"highs"`` to relax with scipy linprog, ``"simplex"``
-            to use :mod:`repro.milp.simplex` (fully self-contained).
+        lp_solver: ``"highs"`` to relax with scipy linprog (sparse
+            constraint matrices), ``"simplex"`` to use
+            :mod:`repro.milp.simplex` (fully self-contained, dense).
         max_nodes: Safety cap on explored nodes.
     """
 
@@ -59,21 +60,48 @@ class BranchBoundBackend:
 
     def solve(self, model, time_limit=None, mip_gap=None) -> SolveResult:
         """Solve ``model``; see :meth:`repro.milp.model.Model.solve`."""
-        c, a_ub, b_ub, a_eq, b_eq, bounds, integrality = model.to_standard_form()
+        c, a_ub, b_ub, a_eq, b_eq, bounds, integrality = model.to_standard_form(
+            sparse=self.lp_solver == "highs"
+        )
+        result = self._solve_std(
+            c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, time_limit, mip_gap
+        )
+        return finalize_user_sense(
+            result, model.objective_sense, model.objective.constant
+        )
+
+    def solve_objectives(self, model, objectives, time_limit=None) -> list[SolveResult]:
+        """Multi-objective fast path: export matrices once, swap ``c``.
+
+        Mirrors :meth:`ScipyBackend.solve_objectives` so Algorithm 1's
+        per-neuron batches avoid one standard-form export per objective
+        on this backend as well.
+        """
+        _, a_ub, b_ub, a_eq, b_eq, bounds, integrality = model.to_standard_form(
+            sparse=self.lp_solver == "highs"
+        )
+        results = []
+        for expr, sense in objectives:
+            c, expr = model.objective_vector(expr, sense)
+            res = self._solve_std(
+                c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, time_limit, None
+            )
+            results.append(finalize_user_sense(res, sense, expr.constant))
+        return results
+
+    # -- internals ------------------------------------------------------------
+
+    def _solve_std(
+        self, c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, time_limit, mip_gap
+    ) -> SolveResult:
+        """Run branch-and-bound on a minimization-sense standard form."""
         t0 = time.perf_counter()
         result = self._branch_and_bound(
             c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, time_limit, mip_gap
         )
         result.solve_time = time.perf_counter() - t0
         result.backend = f"{self.name}/{self.lp_solver}"
-        if result.is_optimal and model.objective_sense == "max":
-            result.objective = -result.objective
-        if result.is_optimal:
-            result.objective += model.objective.constant
-            result.bound = result.objective
         return result
-
-    # -- internals ------------------------------------------------------------
 
     def _solve_relaxation(self, c, a_ub, b_ub, a_eq, b_eq, lo, hi):
         """LP-relax with the configured LP engine; returns (status, obj, x)."""
@@ -111,7 +139,9 @@ class BranchBoundBackend:
         if status is not SolveStatus.OPTIMAL:
             return SolveResult(status=status, message="root relaxation not optimal")
         if int_cols.size == 0:
-            return SolveResult(status=SolveStatus.OPTIMAL, objective=obj, values=x)
+            return SolveResult(
+                status=SolveStatus.OPTIMAL, objective=obj, values=x, bound=obj
+            )
 
         seq = itertools.count()
         heap: list[_Node] = [_Node(obj, next(seq), lo0, hi0)]
@@ -123,7 +153,11 @@ class BranchBoundBackend:
         while heap:
             if deadline is not None and time.perf_counter() > deadline:
                 return self._finish(
-                    incumbent_obj, incumbent_x, nodes_explored, SolveStatus.TIME_LIMIT
+                    incumbent_obj,
+                    incumbent_x,
+                    nodes_explored,
+                    SolveStatus.TIME_LIMIT,
+                    heap,
                 )
             if nodes_explored >= self.max_nodes:
                 return self._finish(
@@ -131,6 +165,7 @@ class BranchBoundBackend:
                     incumbent_x,
                     nodes_explored,
                     SolveStatus.ITERATION_LIMIT,
+                    heap,
                 )
             node = heapq.heappop(heap)
             if node.bound >= incumbent_obj - 1e-12:
@@ -164,7 +199,7 @@ class BranchBoundBackend:
                 heapq.heappush(heap, _Node(obj, next(seq), lo_child2, hi_child2))
 
         return self._finish(
-            incumbent_obj, incumbent_x, nodes_explored, SolveStatus.INFEASIBLE
+            incumbent_obj, incumbent_x, nodes_explored, SolveStatus.INFEASIBLE, heap
         )
 
     @staticmethod
@@ -180,8 +215,17 @@ class BranchBoundBackend:
         return best_col
 
     @staticmethod
-    def _finish(obj, x, nodes, fail_status) -> SolveResult:
-        """Wrap up: report the incumbent if any, else the failure status."""
+    def _finish(obj, x, nodes, fail_status, heap) -> SolveResult:
+        """Wrap up: report the incumbent if any, else the failure status.
+
+        The sound dual bound is the minimum over the open nodes' LP
+        bounds (the heap is ordered by bound, so that is the heap head),
+        capped by the incumbent itself: when the search space is
+        exhausted — or every open node is dominated — the incumbent is
+        the optimum.  Interrupted solves (time/node limits, MIP-gap
+        early exit) therefore still report a finite, sound ``bound``.
+        """
+        best_open = heap[0].bound if heap else math.inf
         if x is not None:
             status = (
                 SolveStatus.OPTIMAL
@@ -189,6 +233,11 @@ class BranchBoundBackend:
                 else fail_status
             )
             return SolveResult(
-                status=status, objective=obj, values=x, nodes=nodes
+                status=status,
+                objective=obj,
+                values=x,
+                nodes=nodes,
+                bound=min(obj, best_open),
             )
-        return SolveResult(status=fail_status, nodes=nodes)
+        bound = best_open if math.isfinite(best_open) else math.nan
+        return SolveResult(status=fail_status, nodes=nodes, bound=bound)

@@ -172,14 +172,46 @@ class Model:
 
     # -- matrix form -------------------------------------------------------
 
-    def to_standard_form(self):
+    def objective_vector(
+        self, expr: "LinExpr | Var", sense: str
+    ) -> tuple[np.ndarray, LinExpr]:
+        """Minimization-sense dense objective vector for ``expr``.
+
+        Shared by the backends' multi-objective fast paths so objective
+        assembly (Var coercion, max-sense negation, sense validation)
+        cannot drift between them.
+
+        Returns:
+            ``(c, expr)`` where ``c`` is negated for ``sense == "max"``
+            and ``expr`` is the coerced :class:`LinExpr` (its
+            ``constant`` still has to be re-applied to results, which
+            :func:`~repro.milp.solution.finalize_user_sense` does).
+        """
+        if sense not in ("min", "max"):
+            raise ValueError(f"bad sense {sense!r}")
+        expr = LinExpr._as_expr(expr)
+        c = np.zeros(self.num_vars)
+        for idx, coef in expr.coeffs.items():
+            c[idx] = coef
+        if sense == "max":
+            c = -c
+        return c, expr
+
+    def to_standard_form(self, sparse: bool = False):
         """Export ``(c, A_ub, b_ub, A_eq, b_eq, bounds, integrality)``.
 
         The objective vector ``c`` is always stated for *minimization*;
         callers must negate the optimum when ``objective_sense == 'max'``
-        (the backends do this).  Matrices are dense ``numpy`` arrays,
-        which is adequate for the sub-network problems this repository
-        solves (a few thousand columns at most).
+        (the backends do this).
+
+        Args:
+            sparse: When True, ``A_ub``/``A_eq`` are assembled directly
+                as ``scipy.sparse.csr_matrix`` from COO triplets — no
+                dense ``(rows, n)`` intermediate is ever allocated.
+                Encoded networks have a few non-zeros per row, so this
+                is the fast path for anything beyond toy models; the
+                scipy backend uses it by default.  The dense export
+                remains for the self-contained simplex solver.
         """
         n = self.num_vars
         c = np.zeros(n)
@@ -199,14 +231,35 @@ class Model:
             else:
                 eq_rows.append((con.expr.coeffs, con.rhs))
 
-        def build(rows):
-            mat = np.zeros((len(rows), n))
-            vec = np.zeros(len(rows))
-            for r, (coeffs, rhs) in enumerate(rows):
-                for idx, coef in coeffs.items():
-                    mat[r, idx] = coef
-                vec[r] = rhs
-            return mat, vec
+        if sparse:
+            import scipy.sparse as sp
+
+            def build(rows):
+                data: list[float] = []
+                row_idx: list[int] = []
+                col_idx: list[int] = []
+                vec = np.zeros(len(rows))
+                for r, (coeffs, rhs) in enumerate(rows):
+                    vec[r] = rhs
+                    for idx, coef in coeffs.items():
+                        row_idx.append(r)
+                        col_idx.append(idx)
+                        data.append(coef)
+                mat = sp.coo_matrix(
+                    (data, (row_idx, col_idx)), shape=(len(rows), n)
+                ).tocsr()
+                return mat, vec
+
+        else:
+
+            def build(rows):
+                mat = np.zeros((len(rows), n))
+                vec = np.zeros(len(rows))
+                for r, (coeffs, rhs) in enumerate(rows):
+                    for idx, coef in coeffs.items():
+                        mat[r, idx] = coef
+                    vec[r] = rhs
+                return mat, vec
 
         a_ub, b_ub = build(ub_rows)
         a_eq, b_eq = build(eq_rows)
@@ -254,8 +307,10 @@ class Model:
 
         Args:
             objectives: Pairs ``(expression, "min"|"max")``.
-            backend: Backend name (multi-objective fast path exists for
-                scipy; others fall back to repeated solves).
+            backend: Backend name.  Both built-in backends implement
+                ``solve_objectives`` (export once, swap only ``c``);
+                third-party backends without it fall back to repeated
+                solves with the model's objective restored afterwards.
             time_limit: Per-solve time limit.
 
         Returns:

@@ -8,7 +8,7 @@ import numpy as np
 import scipy.optimize as sopt
 import scipy.sparse as sparse
 
-from repro.milp.solution import SolveResult, SolveStatus
+from repro.milp.solution import SolveResult, SolveStatus, finalize_user_sense
 
 _MILP_STATUS = {
     0: SolveStatus.OPTIMAL,
@@ -27,37 +27,35 @@ _LINPROG_STATUS = {
 }
 
 
+def _as_csr(a):
+    """Accept a dense array or any scipy sparse matrix; return CSR."""
+    if sparse.issparse(a):
+        return a.tocsr()
+    return sparse.csr_matrix(a)
+
+
 class ScipyBackend:
     """Solve models with ``scipy.optimize.milp``/``linprog`` (HiGHS).
 
     Pure LPs are routed to ``linprog`` which avoids the MILP layer's
     presolve overhead; anything with integrality uses ``milp``.
+    Constraint matrices are exported sparse (CSR, assembled from COO
+    triplets) so no dense ``(rows, n)`` intermediate is built per solve.
     """
 
     name = "scipy"
 
     def solve(self, model, time_limit=None, mip_gap=None) -> SolveResult:
         """Solve ``model`` and return a harmonized :class:`SolveResult`."""
-        c, a_ub, b_ub, a_eq, b_eq, bounds, integrality = model.to_standard_form()
-        t0 = time.perf_counter()
-        if integrality.any():
-            result = self._solve_milp(
-                c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, time_limit, mip_gap
-            )
-        else:
-            result = self._solve_lp(c, a_ub, b_ub, a_eq, b_eq, bounds, time_limit)
-        result.solve_time = time.perf_counter() - t0
-        result.backend = self.name
-        # The bound transform applies whenever a finite dual bound exists
-        # (time-limited MILPs included), not only on proven optimality.
-        if model.objective_sense == "max":
-            if result.is_optimal:
-                result.objective = -result.objective
-            result.bound = -result.bound
-        if result.is_optimal:
-            result.objective += model.objective.constant
-        result.bound += model.objective.constant
-        return result
+        c, a_ub, b_ub, a_eq, b_eq, bounds, integrality = model.to_standard_form(
+            sparse=True
+        )
+        result = self._solve_std(
+            c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, time_limit, mip_gap
+        )
+        return finalize_user_sense(
+            result, model.objective_sense, model.objective.constant
+        )
 
     def solve_objectives(self, model, objectives, time_limit=None) -> list[SolveResult]:
         """Multi-objective fast path: export matrices once, swap ``c``.
@@ -67,38 +65,32 @@ class ScipyBackend:
             objectives: Pairs ``(expression, "min"|"max")``.
             time_limit: Per-solve limit in seconds.
         """
-        _, a_ub, b_ub, a_eq, b_eq, bounds, integrality = model.to_standard_form()
-        n = model.num_vars
+        _, a_ub, b_ub, a_eq, b_eq, bounds, integrality = model.to_standard_form(
+            sparse=True
+        )
         results = []
         for expr, sense in objectives:
-            from repro.milp.expr import LinExpr, Var
-
-            expr = expr.to_expr() if isinstance(expr, Var) else expr
-            c = np.zeros(n)
-            for idx, coef in expr.coeffs.items():
-                c[idx] = coef
-            if sense == "max":
-                c = -c
-            elif sense != "min":
-                raise ValueError(f"bad sense {sense!r}")
-            t0 = time.perf_counter()
-            if integrality.any():
-                res = self._solve_milp(
-                    c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, time_limit, None
-                )
-            else:
-                res = self._solve_lp(c, a_ub, b_ub, a_eq, b_eq, bounds, time_limit)
-            res.solve_time = time.perf_counter() - t0
-            res.backend = self.name
-            if sense == "max":
-                if res.is_optimal:
-                    res.objective = -res.objective
-                res.bound = -res.bound
-            if res.is_optimal:
-                res.objective += expr.constant
-            res.bound += expr.constant
-            results.append(res)
+            c, expr = model.objective_vector(expr, sense)
+            res = self._solve_std(
+                c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, time_limit, None
+            )
+            results.append(finalize_user_sense(res, sense, expr.constant))
         return results
+
+    def _solve_std(
+        self, c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, time_limit, mip_gap
+    ) -> SolveResult:
+        """Dispatch a minimization-sense standard form to milp/linprog."""
+        t0 = time.perf_counter()
+        if integrality.any():
+            result = self._solve_milp(
+                c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, time_limit, mip_gap
+            )
+        else:
+            result = self._solve_lp(c, a_ub, b_ub, a_eq, b_eq, bounds, time_limit)
+        result.solve_time = time.perf_counter() - t0
+        result.backend = self.name
+        return result
 
     @staticmethod
     def _solve_milp(
@@ -106,13 +98,9 @@ class ScipyBackend:
     ) -> SolveResult:
         constraints = []
         if a_ub.shape[0]:
-            constraints.append(
-                sopt.LinearConstraint(sparse.csr_matrix(a_ub), -np.inf, b_ub)
-            )
+            constraints.append(sopt.LinearConstraint(_as_csr(a_ub), -np.inf, b_ub))
         if a_eq.shape[0]:
-            constraints.append(
-                sopt.LinearConstraint(sparse.csr_matrix(a_eq), b_eq, b_eq)
-            )
+            constraints.append(sopt.LinearConstraint(_as_csr(a_eq), b_eq, b_eq))
         lo = np.array([b[0] for b in bounds])
         hi = np.array([b[1] for b in bounds])
         options: dict = {"presolve": True}
@@ -133,7 +121,14 @@ class ScipyBackend:
         values = np.asarray(res.x) if res.x is not None else np.empty(0)
         objective = float(res.fun) if res.fun is not None else float("nan")
         dual = getattr(res, "mip_dual_bound", None)
-        bound = float(dual) if dual is not None else objective
+        if dual is not None:
+            bound = float(dual)
+        elif status is SolveStatus.OPTIMAL:
+            bound = objective
+        else:
+            # A primal objective of an interrupted solve is NOT a sound
+            # dual bound; report "no bound" rather than an unsound one.
+            bound = float("nan")
         return SolveResult(
             status=status,
             objective=objective,
@@ -150,21 +145,31 @@ class ScipyBackend:
             options["time_limit"] = float(time_limit)
         res = sopt.linprog(
             c=c,
-            A_ub=sparse.csr_matrix(a_ub) if a_ub.shape[0] else None,
+            A_ub=_as_csr(a_ub) if a_ub.shape[0] else None,
             b_ub=b_ub if a_ub.shape[0] else None,
-            A_eq=sparse.csr_matrix(a_eq) if a_eq.shape[0] else None,
+            A_eq=_as_csr(a_eq) if a_eq.shape[0] else None,
             b_eq=b_eq if a_eq.shape[0] else None,
             bounds=bounds,
             method="highs",
             options=options,
         )
         status = _LINPROG_STATUS.get(res.status, SolveStatus.ERROR)
+        # HiGHS reports one "limit reached" code for both wall-clock and
+        # iteration limits; mirror `_solve_milp` so pure-LP sub-problems
+        # report TIME_LIMIT when a time limit was actually requested
+        # (global_cert's sound dual-bound fallback keys off this).
+        if status is SolveStatus.ITERATION_LIMIT and time_limit is not None:
+            status = SolveStatus.TIME_LIMIT
         values = np.asarray(res.x) if res.x is not None else np.empty(0)
         objective = float(res.fun) if res.fun is not None else float("nan")
+        # Only a proven-optimal LP objective doubles as a sound dual
+        # bound; an interrupted solve's primal value does not (callers
+        # like global_cert treat any finite `bound` as certified).
+        bound = objective if status is SolveStatus.OPTIMAL else float("nan")
         return SolveResult(
             status=status,
             objective=objective,
             values=values,
             message=str(res.message),
-            bound=objective,
+            bound=bound,
         )

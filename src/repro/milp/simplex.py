@@ -48,9 +48,18 @@ def solve_lp(
     ``min c'z s.t. Az = b, z >= 0`` by shifting finite lower bounds,
     splitting free variables, and turning finite upper bounds into rows.
 
+    ``a_ub``/``a_eq`` may be dense arrays or scipy sparse matrices (the
+    representation :meth:`Model.to_standard_form(sparse=True)` exports);
+    sparse input is densified on entry since the tableau is dense anyway.
+
     Returns:
         An :class:`LpResult`; ``x`` has the caller's variable order.
     """
+    # Accept either matrix representation without importing scipy.
+    if hasattr(a_ub, "toarray"):
+        a_ub = a_ub.toarray()
+    if hasattr(a_eq, "toarray"):
+        a_eq = a_eq.toarray()
     n = len(bounds)
     c = np.asarray(c, dtype=float)
 

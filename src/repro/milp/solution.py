@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -75,3 +76,34 @@ class SolveResult:
                 f"solve failed: status={self.status.value} ({self.message})"
             )
         return self
+
+
+def finalize_user_sense(
+    result: SolveResult, sense: str, constant: float
+) -> SolveResult:
+    """Translate a raw minimization-sense result into the user's sense.
+
+    Every backend internally minimizes; this single transform guarantees
+    identical result semantics across backends (the contract stated on
+    :class:`SolveResult`): whenever a finite incumbent objective exists —
+    proven optimal *or* the best solution found before a time/node limit
+    — it is reported in the user's sense with the objective constant
+    re-applied.  The dual ``bound`` is transformed whenever finite, so
+    time-limited max-sense solves still carry a sound upper bound.
+
+    Args:
+        result: Backend result, objective/bound in minimization sense.
+        sense: The user's objective sense, ``"min"`` or ``"max"``.
+        constant: The affine objective's constant term.
+
+    Returns:
+        ``result``, mutated in place.
+    """
+    if sense == "max":
+        result.objective = -result.objective  # nan-safe: -nan is nan
+        result.bound = -result.bound
+    if math.isfinite(result.objective):
+        result.objective += constant
+    if math.isfinite(result.bound):
+        result.bound += constant
+    return result

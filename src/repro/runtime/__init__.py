@@ -1,0 +1,35 @@
+"""Runtime engine: parallel batch execution of certification queries.
+
+Certification workloads decompose into many *independent* solver-bound
+queries — one local certificate per data sample, one global certificate
+per model, four small LP/MILPs per neuron inside Algorithm 1's ND loop.
+This package fans those queries across worker processes:
+
+* :class:`~repro.runtime.batch.BatchCertifier` — executes a list of
+  declarative :class:`~repro.runtime.batch.CertificationQuery` objects
+  on a ``ProcessPoolExecutor`` with deterministic result ordering,
+  progress callbacks and per-query failure capture.
+* :func:`~repro.runtime.batch.parallel_solve_many` — the lower-level
+  fan-out used by :class:`~repro.certify.global_cert.GlobalRobustnessCertifier`
+  when ``CertifierConfig.workers > 1``: chunks a model's objective list
+  across processes (export-once semantics are preserved inside each
+  worker via the backends' ``solve_objectives`` fast path).
+"""
+
+from repro.runtime.batch import (
+    BatchCertifier,
+    BatchResult,
+    CertificationQuery,
+    global_query,
+    local_queries,
+    parallel_solve_many,
+)
+
+__all__ = [
+    "BatchCertifier",
+    "BatchResult",
+    "CertificationQuery",
+    "global_query",
+    "local_queries",
+    "parallel_solve_many",
+]

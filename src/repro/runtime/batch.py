@@ -1,0 +1,379 @@
+"""The batch certification engine: queries, results, process fan-out.
+
+Everything submitted to a worker must be picklable; queries therefore
+carry the *normal-form* network (a list of
+:class:`~repro.nn.affine.AffineLayer`, plain arrays) and primitive
+parameters instead of live solver objects.  Certification functions are
+imported lazily inside the worker so forked processes pay the import
+cost once and the package has no circular imports.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+#: Exceptions meaning "the process pool itself is unusable" (cannot
+#: fork/spawn, or a worker died mid-batch) — distinct from a query
+#: failure, which workers capture per query.  On these the engine
+#: re-runs the whole batch serially rather than sinking it.
+_POOL_FAILURES = (OSError, PermissionError, BrokenProcessPool)
+
+import numpy as np
+
+from repro.bounds.interval import Box
+from repro.nn.affine import AffineLayer
+
+#: Query kinds understood by :func:`_execute_query`.
+QUERY_KINDS = ("local-exact", "local-nd", "local-lpr", "global", "global-exact")
+
+#: Progress callback signature: ``(completed_count, total, result)``.
+ProgressFn = Callable[[int, int, "BatchResult"], None]
+
+
+@dataclass
+class CertificationQuery:
+    """One independent certification problem, described declaratively.
+
+    Attributes:
+        kind: One of :data:`QUERY_KINDS`.  ``local-*`` kinds certify
+            robustness around ``center``; ``global`` runs Algorithm 1
+            over ``domain``; ``global-exact`` the exact twin MILP.
+        layers: Normal-form network (picklable plain arrays).
+        delta: L∞ perturbation bound δ.
+        center: The sample for local kinds (ignored for global kinds).
+        domain: Input domain; required for global kinds, optional clip
+            for local kinds.
+        window: ND window ``W`` (``local-nd`` / ``global``).
+        refine_count: Neurons refined per sub-network (``global`` only).
+        backend: MILP/LP backend name.
+        time_limit: Per-MILP time limit in seconds (global kinds).
+        tag: Caller label echoed on the result (e.g. a sample id).
+    """
+
+    kind: str
+    layers: list[AffineLayer]
+    delta: float
+    center: np.ndarray | None = None
+    domain: Box | None = None
+    window: int = 2
+    refine_count: int = 0
+    backend: str = "scipy"
+    time_limit: float | None = None
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in QUERY_KINDS:
+            raise ValueError(
+                f"unknown query kind {self.kind!r}; expected one of {QUERY_KINDS}"
+            )
+        if self.center is not None:
+            self.center = np.asarray(self.center, dtype=float).reshape(-1)
+        if self.kind.startswith("local") and self.center is None:
+            raise ValueError(f"{self.kind!r} query needs a center sample")
+        if self.kind.startswith("global") and self.domain is None:
+            raise ValueError(f"{self.kind!r} query needs an input domain")
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one query: a certificate or a captured failure.
+
+    Attributes:
+        index: Position of the query in the submitted sequence (results
+            are returned sorted by this, regardless of completion order).
+        tag: The query's caller label.
+        certificate: The certificate object on success, else ``None``.
+        error: Formatted traceback on failure, else ``None``.
+        elapsed: Wall-clock seconds spent inside the worker.
+    """
+
+    index: int
+    tag: str = ""
+    certificate: object | None = None
+    error: str | None = None
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the query produced a certificate."""
+        return self.error is None
+
+
+def _execute_query(query: CertificationQuery):
+    """Dispatch one query to the matching certification routine."""
+    from repro.certify import (
+        CertifierConfig,
+        GlobalRobustnessCertifier,
+        certify_exact_global,
+        certify_local_exact,
+        certify_local_lpr,
+        certify_local_nd,
+    )
+
+    if query.kind == "local-exact":
+        return certify_local_exact(
+            query.layers, query.center, query.delta,
+            domain=query.domain, backend=query.backend,
+        )
+    if query.kind == "local-nd":
+        return certify_local_nd(
+            query.layers, query.center, query.delta,
+            window=query.window, domain=query.domain, backend=query.backend,
+        )
+    if query.kind == "local-lpr":
+        return certify_local_lpr(
+            query.layers, query.center, query.delta,
+            domain=query.domain, backend=query.backend,
+        )
+    if query.kind == "global":
+        config = CertifierConfig(
+            window=query.window,
+            refine_count=query.refine_count,
+            backend=query.backend,
+            milp_time_limit=query.time_limit,
+        )
+        return GlobalRobustnessCertifier(query.layers, config).certify(
+            query.domain, query.delta
+        )
+    # "global-exact" — validated in CertificationQuery.__post_init__.
+    return certify_exact_global(
+        query.layers, query.domain, query.delta,
+        backend=query.backend, time_limit=query.time_limit,
+    )
+
+
+def _run_one(payload: tuple[int, CertificationQuery]) -> BatchResult:
+    """Worker entry point: never raises, captures failures per query."""
+    index, query = payload
+    t0 = time.perf_counter()
+    try:
+        cert = _execute_query(query)
+        return BatchResult(
+            index=index, tag=query.tag, certificate=cert,
+            elapsed=time.perf_counter() - t0,
+        )
+    except Exception:  # noqa: BLE001 — one bad query must not sink the batch
+        return BatchResult(
+            index=index, tag=query.tag, error=traceback.format_exc(),
+            elapsed=time.perf_counter() - t0,
+        )
+
+
+class BatchCertifier:
+    """Fan independent certification queries across worker processes.
+
+    Results come back in *submission order* whatever the completion
+    order, failures are captured per query (``BatchResult.error``), and
+    an optional progress callback fires in the parent process as each
+    query completes.
+
+    Example::
+
+        engine = BatchCertifier(max_workers=4)
+        queries = local_queries(net, samples, delta=0.01, method="exact")
+        results = engine.run(queries, progress=lambda k, n, r:
+                             print(f"{k}/{n} {r.tag}"))
+        eps = [r.certificate.epsilon for r in results if r.ok]
+
+    Args:
+        max_workers: Process count; defaults to ``os.cpu_count()``
+            (capped by the batch size).  ``1`` executes inline — same
+            semantics, no processes — which is also the automatic
+            fallback when the platform cannot fork worker processes.
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+
+    def run(
+        self,
+        queries: Sequence[CertificationQuery],
+        progress: ProgressFn | None = None,
+    ) -> list[BatchResult]:
+        """Execute all queries; return one :class:`BatchResult` each.
+
+        Args:
+            queries: Independent queries; order defines result order.
+            progress: Optional ``(done, total, result)`` callback invoked
+                in the submitting process after each completion.
+        """
+        queries = list(queries)
+        total = len(queries)
+        if total == 0:
+            return []
+        workers = self.max_workers or os.cpu_count() or 1
+        workers = min(workers, total)
+        if workers == 1:
+            return self._run_serial(queries, progress)
+        try:
+            return self._run_pool(queries, workers, progress)
+        except _POOL_FAILURES:
+            # Sandboxes without fork support, or a worker process that
+            # died (OOM kill, native crash): stay correct, run inline.
+            return self._run_serial(queries, progress)
+
+    @staticmethod
+    def _run_serial(queries, progress) -> list[BatchResult]:
+        results = []
+        for i, query in enumerate(queries):
+            result = _run_one((i, query))
+            results.append(result)
+            if progress is not None:
+                progress(i + 1, len(queries), result)
+        return results
+
+    @staticmethod
+    def _run_pool(queries, workers, progress) -> list[BatchResult]:
+        slots: list[BatchResult | None] = [None] * len(queries)
+        done = 0
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_run_one, (i, q)) for i, q in enumerate(queries)
+            ]
+            for future in as_completed(futures):
+                result = future.result()
+                slots[result.index] = result
+                done += 1
+                if progress is not None:
+                    progress(done, len(queries), result)
+        return slots  # every slot filled: one future per index
+
+
+# -- query builders ----------------------------------------------------------
+
+
+def _normal_form(network) -> list[AffineLayer]:
+    from repro.nn.network import Network
+
+    return network.to_affine_layers() if isinstance(network, Network) else list(network)
+
+
+def local_queries(
+    network,
+    centers: np.ndarray | Sequence[np.ndarray],
+    delta: float,
+    method: str = "exact",
+    domain: Box | None = None,
+    backend: str = "scipy",
+    window: int = 1,
+    tag_prefix: str = "sample",
+) -> list[CertificationQuery]:
+    """Per-sample local certification queries (one per row of ``centers``).
+
+    Args:
+        network: A :class:`~repro.nn.network.Network` or affine chain.
+        centers: Samples, shape ``(k, input_dim)`` (or an iterable of
+            flat samples).
+        delta: Perturbation radius.
+        method: ``"exact"``, ``"nd"`` or ``"lpr"``.
+        domain: Optional domain box intersected with each δ-ball.
+        backend: Solver backend for every query.
+        window: ND window (``method="nd"`` only).
+        tag_prefix: Result tags become ``f"{tag_prefix}[{i}]"``.
+    """
+    if method not in ("exact", "nd", "lpr"):
+        raise ValueError(f"unknown local method {method!r}")
+    layers = _normal_form(network)
+    return [
+        CertificationQuery(
+            kind=f"local-{method}",
+            layers=layers,
+            delta=float(delta),
+            center=np.asarray(center, dtype=float).reshape(-1),
+            domain=domain,
+            window=window,
+            backend=backend,
+            tag=f"{tag_prefix}[{i}]",
+        )
+        for i, center in enumerate(np.atleast_2d(np.asarray(centers, dtype=float)))
+    ]
+
+
+def global_query(
+    network,
+    domain: Box,
+    delta: float,
+    window: int = 2,
+    refine_count: int = 0,
+    backend: str = "scipy",
+    time_limit: float | None = 30.0,
+    exact: bool = False,
+    tag: str = "global",
+) -> CertificationQuery:
+    """One global certification query (Algorithm 1, or the exact MILP)."""
+    return CertificationQuery(
+        kind="global-exact" if exact else "global",
+        layers=_normal_form(network),
+        delta=float(delta),
+        domain=domain,
+        window=window,
+        refine_count=refine_count,
+        backend=backend,
+        time_limit=time_limit,
+        tag=tag,
+    )
+
+
+# -- objective-level fan-out --------------------------------------------------
+
+
+def _solve_chunk(payload):
+    """Worker: solve a contiguous chunk of objectives on a shared model."""
+    model, objectives, backend, time_limit = payload
+    return model.solve_many(objectives, backend=backend, time_limit=time_limit)
+
+
+def parallel_solve_many(
+    model,
+    objectives,
+    backend: str = "scipy",
+    time_limit: float | None = None,
+    max_workers: int | None = None,
+):
+    """``Model.solve_many`` fanned across processes, order-preserving.
+
+    The objective list is split into one contiguous chunk per worker;
+    each worker pickles the model once and runs the backend's
+    export-once ``solve_objectives`` fast path on its chunk, so the
+    per-objective cost stays identical to the serial path.  This is the
+    engine behind ``CertifierConfig.workers`` — Algorithm 1's four
+    min/max LPs per neuron of a layer are independent and fan perfectly.
+
+    Args:
+        model: The shared :class:`~repro.milp.model.Model`.
+        objectives: Pairs ``(expression, "min"|"max")``.
+        backend: Backend name.
+        time_limit: Per-solve time limit in seconds.
+        max_workers: Process count; ``None`` uses ``os.cpu_count()``.
+
+    Returns:
+        One :class:`~repro.milp.solution.SolveResult` per objective, in
+        input order — bit-identical to the serial ``solve_many``.
+    """
+    objectives = list(objectives)
+    workers = max_workers or os.cpu_count() or 1
+    workers = min(workers, len(objectives))
+    if workers <= 1 or len(objectives) <= 1:
+        return model.solve_many(objectives, backend=backend, time_limit=time_limit)
+    chunk = math.ceil(len(objectives) / workers)
+    chunks = [objectives[k : k + chunk] for k in range(0, len(objectives), chunk)]
+    try:
+        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+            parts = list(
+                pool.map(
+                    _solve_chunk,
+                    [(model, part, backend, time_limit) for part in chunks],
+                )
+            )
+    except _POOL_FAILURES:
+        return model.solve_many(objectives, backend=backend, time_limit=time_limit)
+    return [result for part in parts for result in part]

@@ -21,6 +21,34 @@ class TestBoxBasics:
         with pytest.raises(ValueError):
             Box(np.zeros(2), np.zeros(3))
 
+    def test_construction_does_not_alias_caller_arrays(self):
+        """Regression: float64 input used to be adopted as-is, so the
+        tiny-inversion rectification (and any later in-place tightening)
+        silently mutated the caller's arrays."""
+        lo = np.array([0.0, 1.0 + 1e-12])  # coordinate 1 slightly inverted
+        hi = np.array([1.0, 1.0])
+        lo_before, hi_before = lo.copy(), hi.copy()
+        box = Box(lo, hi)
+        # The caller's data is untouched by the in-place rectify...
+        np.testing.assert_array_equal(lo, lo_before)
+        np.testing.assert_array_equal(hi, hi_before)
+        # ...the box owns independent storage...
+        assert box.lo is not lo and box.hi is not hi
+        assert not np.shares_memory(box.lo, lo)
+        assert not np.shares_memory(box.hi, hi)
+        # ...and the inversion was rectified inside the box only.
+        assert box.lo[1] <= box.hi[1]
+
+    def test_mutating_box_leaves_caller_untouched(self):
+        """Range tables tighten boxes in place; the caller's arrays must
+        never see those writes."""
+        lo = np.zeros(3)
+        hi = np.ones(3)
+        box = Box(lo, hi)
+        box.lo[0] = 0.25
+        box.hi[2] = 0.75
+        assert lo[0] == 0.0 and hi[2] == 1.0
+
     def test_from_center(self):
         box = Box.from_center(np.array([1.0, 2.0]), 0.5)
         assert np.allclose(box.lo, [0.5, 1.5])

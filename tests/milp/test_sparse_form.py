@@ -1,0 +1,141 @@
+"""Sparse standard-form export and its acceptance by every solve path."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.milp import Model
+from repro.milp.branch_bound import BranchBoundBackend
+from repro.milp.simplex import solve_lp
+
+
+def mixed_model():
+    m = Model("mixed")
+    x = m.add_var(lb=-2, ub=4)
+    y = m.add_var(lb=0, ub=3)
+    z = m.add_var(vtype="binary")
+    m.add_constr(x + 2 * y <= 6)
+    m.add_constr(x - y >= -3)
+    m.add_constr(y + z == 2)
+    m.set_objective(x + y - z + 0.25, sense="max")
+    return m
+
+
+class TestSparseExport:
+    def test_matches_dense(self):
+        m = mixed_model()
+        c_d, ub_d, bub_d, eq_d, beq_d, bounds_d, integ_d = m.to_standard_form()
+        c_s, ub_s, bub_s, eq_s, beq_s, bounds_s, integ_s = m.to_standard_form(
+            sparse=True
+        )
+        assert sp.issparse(ub_s) and sp.issparse(eq_s)
+        assert ub_s.format == "csr" and eq_s.format == "csr"
+        np.testing.assert_allclose(c_s, c_d)
+        np.testing.assert_allclose(ub_s.toarray(), ub_d)
+        np.testing.assert_allclose(eq_s.toarray(), eq_d)
+        np.testing.assert_allclose(bub_s, bub_d)
+        np.testing.assert_allclose(beq_s, beq_d)
+        assert bounds_s == bounds_d
+        np.testing.assert_array_equal(integ_s, integ_d)
+
+    def test_empty_sections_have_shape(self):
+        m = Model()
+        m.add_var(lb=0, ub=1)
+        _, a_ub, _, a_eq, _, _, _ = m.to_standard_form(sparse=True)
+        assert a_ub.shape == (0, 1)
+        assert a_eq.shape == (0, 1)
+
+    def test_duplicate_indices_summed_consistently(self):
+        """Expression arithmetic merges coefficients before export, so
+        sparse and dense builds see identical per-cell values."""
+        m = Model()
+        x = m.add_var(lb=0, ub=1)
+        y = m.add_var(lb=0, ub=1)
+        m.add_constr(x + x + y - 0.5 * y <= 1)  # coeffs merge to 2x + 0.5y
+        m.set_objective(x)
+        _, ub_d, _, _, _, _, _ = m.to_standard_form()
+        _, ub_s, _, _, _, _, _ = m.to_standard_form(sparse=True)
+        np.testing.assert_allclose(ub_s.toarray(), ub_d)
+        np.testing.assert_allclose(ub_s.toarray(), [[2.0, 0.5]])
+
+
+class TestSparseSolvePaths:
+    def test_scipy_solve_uses_sparse_and_matches(self):
+        m = mixed_model()
+        r = m.solve(backend="scipy")  # sparse export is the default path
+        assert r.is_optimal
+        # Independent check against the python backend on dense export.
+        ref = BranchBoundBackend(lp_solver="simplex").solve(m)
+        assert r.objective == pytest.approx(ref.objective, abs=1e-8)
+
+    def test_branch_bound_highs_with_sparse(self):
+        m = mixed_model()
+        r = BranchBoundBackend(lp_solver="highs").solve(m)
+        ref = m.solve(backend="scipy")
+        assert r.is_optimal
+        assert r.objective == pytest.approx(ref.objective, abs=1e-8)
+
+    def test_simplex_accepts_sparse_matrices(self):
+        m = mixed_model().relaxed()
+        c, a_ub, b_ub, a_eq, b_eq, bounds, _ = m.to_standard_form(sparse=True)
+        lp_sparse = solve_lp(c, a_ub, b_ub, a_eq, b_eq, bounds)
+        c, a_ub, b_ub, a_eq, b_eq, bounds, _ = m.to_standard_form()
+        lp_dense = solve_lp(c, a_ub, b_ub, a_eq, b_eq, bounds)
+        assert lp_sparse.status == lp_dense.status
+        assert lp_sparse.objective == pytest.approx(lp_dense.objective, abs=1e-9)
+
+    def test_solve_objectives_sparse_matches_dense_per_solve(self):
+        m = mixed_model()
+        x, y, z = m.variables
+        objectives = [(x + y, "min"), (x + y, "max"), (x - z + 1.0, "max")]
+        fast = m.solve_many(objectives, backend="scipy")
+        for (expr, sense), got in zip(objectives, fast):
+            m.set_objective(expr, sense=sense)
+            ref = m.solve(backend="python:simplex")  # dense, independent
+            assert got.objective == pytest.approx(ref.objective, abs=1e-7)
+
+
+class TestSimplexPhase1Pruning:
+    """Redundant equality rows leave artificials basic at zero; the
+    phase-1 pruning path must pivot them out (or carry the zero rows)
+    without corrupting the phase-2 optimum."""
+
+    def test_duplicated_equality_row(self):
+        # x + y == 2 stated twice; min x with x,y in [0, 2] -> x = 0.
+        c = np.array([1.0, 0.0])
+        a_eq = np.array([[1.0, 1.0], [1.0, 1.0]])
+        b_eq = np.array([2.0, 2.0])
+        res = solve_lp(c, np.zeros((0, 2)), np.zeros(0), a_eq, b_eq, [(0, 2), (0, 2)])
+        assert res.status.value == "optimal"
+        assert res.objective == pytest.approx(0.0, abs=1e-9)
+        np.testing.assert_allclose(a_eq @ res.x, b_eq, atol=1e-9)
+
+    def test_linearly_dependent_equality_rows(self):
+        # Second row is 2x the first: same feasible set, rank 1.
+        c = np.array([1.0, 2.0, 0.0])
+        a_eq = np.array([[1.0, 1.0, 1.0], [2.0, 2.0, 2.0]])
+        b_eq = np.array([3.0, 6.0])
+        res = solve_lp(
+            c, np.zeros((0, 3)), np.zeros(0), a_eq, b_eq,
+            [(0, 3), (0, 3), (0, 3)],
+        )
+        assert res.status.value == "optimal"
+        # Optimal: push mass onto the free (zero-cost) third variable.
+        assert res.objective == pytest.approx(0.0, abs=1e-9)
+        np.testing.assert_allclose(a_eq @ res.x, b_eq, atol=1e-9)
+
+    def test_redundant_rows_against_highs(self):
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((2, 3))
+        a_eq = np.vstack([a, a[0] + a[1]])  # third row = sum of first two
+        x_feas = rng.random(3)
+        b_eq = a_eq @ x_feas
+        c = rng.standard_normal(3)
+        bounds = [(-2.0, 2.0)] * 3
+        import scipy.optimize as sopt
+
+        ref = sopt.linprog(c, A_eq=a_eq, b_eq=b_eq, bounds=bounds, method="highs")
+        mine = solve_lp(c, np.zeros((0, 3)), np.zeros(0), a_eq, b_eq, bounds)
+        assert ref.status == 0
+        assert mine.status.value == "optimal"
+        assert mine.objective == pytest.approx(ref.fun, abs=1e-7)

@@ -1,0 +1,168 @@
+"""Batch certification engine: ordering, parity, failures, fan-out."""
+
+import numpy as np
+import pytest
+
+from repro.bounds import Box
+from repro.certify import (
+    CertifierConfig,
+    GlobalRobustnessCertifier,
+    certify_local_exact,
+    certify_local_lpr,
+    certify_local_nd,
+)
+from repro.nn.affine import AffineLayer
+from repro.runtime import (
+    BatchCertifier,
+    CertificationQuery,
+    global_query,
+    local_queries,
+    parallel_solve_many,
+)
+
+
+@pytest.fixture(scope="module")
+def layers():
+    rng = np.random.default_rng(42)
+    return [
+        AffineLayer(
+            0.5 * rng.standard_normal((4, 3)), 0.2 * rng.standard_normal(4), relu=True
+        ),
+        AffineLayer(
+            0.5 * rng.standard_normal((2, 4)), 0.2 * rng.standard_normal(2), relu=False
+        ),
+    ]
+
+
+@pytest.fixture(scope="module")
+def centers():
+    return np.random.default_rng(1).random((3, 3))
+
+
+class TestQueryValidation:
+    def test_unknown_kind(self, layers):
+        with pytest.raises(ValueError, match="unknown query kind"):
+            CertificationQuery(kind="typo", layers=layers, delta=0.1)
+
+    def test_local_needs_center(self, layers):
+        with pytest.raises(ValueError, match="center"):
+            CertificationQuery(kind="local-exact", layers=layers, delta=0.1)
+
+    def test_global_needs_domain(self, layers):
+        with pytest.raises(ValueError, match="domain"):
+            CertificationQuery(kind="global", layers=layers, delta=0.1)
+
+    def test_bad_local_method(self, layers, centers):
+        with pytest.raises(ValueError, match="unknown local method"):
+            local_queries(layers, centers, 0.1, method="fancy")
+
+    def test_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            BatchCertifier(max_workers=0)
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+class TestParity:
+    """Batch answers must equal the serial certification functions."""
+
+    def test_local_methods(self, layers, centers, workers):
+        serial = {
+            "exact": [certify_local_exact(layers, c, 0.05) for c in centers],
+            "nd": [certify_local_nd(layers, c, 0.05, window=1) for c in centers],
+            "lpr": [certify_local_lpr(layers, c, 0.05) for c in centers],
+        }
+        for method, refs in serial.items():
+            queries = local_queries(layers, centers, 0.05, method=method, window=1)
+            results = BatchCertifier(max_workers=workers).run(queries)
+            assert [r.index for r in results] == [0, 1, 2]
+            for res, ref in zip(results, refs):
+                assert res.ok, res.error
+                np.testing.assert_allclose(
+                    res.certificate.epsilons, ref.epsilons, atol=1e-7
+                )
+
+    def test_global(self, layers, workers):
+        box = Box.uniform(3, 0.0, 1.0)
+        ref = GlobalRobustnessCertifier(
+            layers, CertifierConfig(window=2, refine_count=2)
+        ).certify(box, 0.01)
+        out = BatchCertifier(max_workers=workers).run(
+            [global_query(layers, box, 0.01, refine_count=2, tag="g")]
+        )
+        assert out[0].ok and out[0].tag == "g"
+        np.testing.assert_allclose(out[0].certificate.epsilons, ref.epsilons, atol=1e-7)
+
+
+class TestEngineMechanics:
+    def test_empty_batch(self):
+        assert BatchCertifier().run([]) == []
+
+    def test_failure_captured_not_raised(self, layers, centers):
+        bad = CertificationQuery(
+            kind="local-exact",
+            layers=layers,
+            delta=0.05,
+            center=np.ones(7),  # wrong input dimension
+            tag="bad",
+        )
+        good = local_queries(layers, centers[:1], 0.05)
+        results = BatchCertifier(max_workers=2).run([bad] + good)
+        assert not results[0].ok
+        assert "Traceback" in results[0].error
+        assert results[0].certificate is None
+        assert results[1].ok, results[1].error
+
+    def test_progress_callback_and_ordering(self, layers, centers):
+        queries = local_queries(layers, centers, 0.05, method="lpr")
+        seen = []
+        results = BatchCertifier(max_workers=2).run(
+            queries, progress=lambda done, total, r: seen.append((done, total, r.tag))
+        )
+        assert [s[0] for s in seen] == [1, 2, 3]  # monotone completion count
+        assert all(s[1] == 3 for s in seen)
+        # Deterministic output order regardless of completion order.
+        assert [r.tag for r in results] == ["sample[0]", "sample[1]", "sample[2]"]
+
+    def test_elapsed_populated(self, layers, centers):
+        results = BatchCertifier(max_workers=1).run(
+            local_queries(layers, centers[:1], 0.05, method="lpr")
+        )
+        assert results[0].elapsed > 0
+
+
+class TestParallelSolveMany:
+    def test_matches_serial(self, layers):
+        from repro.encoding.single import encode_single_network
+
+        enc = encode_single_network(layers, Box.uniform(3, 0.0, 1.0))
+        objectives = []
+        for handle in enc.output:
+            expr = handle.to_expr() if not hasattr(handle, "coeffs") else handle
+            objectives.extend([(expr, "min"), (expr, "max")])
+        serial = enc.model.solve_many(objectives, backend="scipy")
+        fanned = parallel_solve_many(
+            enc.model, objectives, backend="scipy", max_workers=2
+        )
+        assert len(fanned) == len(serial)
+        for a, b in zip(fanned, serial):
+            assert a.status == b.status
+            assert a.objective == pytest.approx(b.objective, abs=1e-9)
+
+    def test_single_objective_short_circuits(self, layers):
+        from repro.encoding.single import encode_single_network
+
+        enc = encode_single_network(layers, Box.uniform(3, 0.0, 1.0))
+        handle = enc.output[0]
+        expr = handle.to_expr() if not hasattr(handle, "coeffs") else handle
+        out = parallel_solve_many(enc.model, [(expr, "max")], max_workers=4)
+        assert len(out) == 1 and out[0].is_optimal
+
+    def test_certifier_workers_match_serial(self, layers):
+        box = Box.uniform(3, 0.0, 1.0)
+        serial = GlobalRobustnessCertifier(
+            layers, CertifierConfig(window=2, refine_count=2)
+        ).certify(box, 0.02)
+        fanned = GlobalRobustnessCertifier(
+            layers, CertifierConfig(window=2, refine_count=2, workers=2)
+        ).certify(box, 0.02)
+        np.testing.assert_allclose(fanned.epsilons, serial.epsilons, atol=1e-9)

@@ -52,6 +52,29 @@ class TestCli:
         ) == 0
         assert "pgd-under" in capsys.readouterr().out
 
+    def test_batch(self, model_path, capsys):
+        code = main(
+            ["batch", model_path, "--delta", "0.02", "--samples", "3",
+             "--method", "exact", "--workers", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch local-exact certification" in out
+        assert "sample[2]" in out
+        assert "worst eps over 3 certified samples" in out
+
+    def test_batch_inputs_file(self, model_path, capsys, tmp_path):
+        samples = np.random.default_rng(3).random((2, 3))
+        inputs = tmp_path / "inputs.npy"
+        np.save(inputs, samples)
+        code = main(
+            ["batch", model_path, "--delta", "0.02", "--inputs", str(inputs),
+             "--method", "lpr", "--workers", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sample[1]" in out and "sample[2]" not in out
+
     def test_exact_dominates_cli_roundtrip(self, model_path, capsys):
         """Certify twice via CLI and parse: ours >= exact."""
         main(["certify", model_path, "--delta", "0.01", "--method", "exact"])

@@ -86,4 +86,7 @@ def test_btne_itne_exact_agree(seed):
     box = Box.uniform(2, -1.0, 1.0)
     itne = certify_exact_global(layers, box, 0.05, encoding="itne")
     btne = certify_exact_global(layers, box, 0.05, encoding="btne")
-    assert itne.epsilon == pytest.approx(btne.epsilon, abs=1e-6)
+    # Both encodings are exact, but each MILP terminates within HiGHS's
+    # default relative MIP gap (1e-4), so the optima may differ by up to
+    # that relative amount (seen in the wild: 3.5e-6 at eps ~ 0.086).
+    assert itne.epsilon == pytest.approx(btne.epsilon, rel=2e-4, abs=1e-6)
