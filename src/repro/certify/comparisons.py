@@ -20,6 +20,7 @@ from repro.certify.decomposition import decompose
 from repro.certify.results import GlobalCertificate
 from repro.encoding.btne import encode_btne
 from repro.encoding.single import encode_single_network
+from repro.milp.expr import as_expr
 from repro.nn.affine import AffineLayer
 from repro.nn.network import Network
 
@@ -61,7 +62,7 @@ def certify_global_btne_nd(
         )
         objectives = []
         for handle in enc.y[-1]:
-            expr = _expr(handle)
+            expr = as_expr(handle)
             objectives.extend([(expr, "min"), (expr, "max")])
         results = enc.model.solve_many(objectives, backend=backend)
         lp_count += len(objectives)
@@ -131,8 +132,3 @@ def certify_global_btne_lpr(
         detail={"output_distance": Box(lo, hi)},
     )
 
-
-def _expr(handle):
-    from repro.milp.expr import Var
-
-    return handle.to_expr() if isinstance(handle, Var) else handle

@@ -5,6 +5,14 @@ the entire input domain, link them with the perturbation constraint, and
 maximize/minimize every output distance.  Complexity is exponential in
 the number of unstable ReLU neurons (×2, one per copy), which is exactly
 the blow-up the paper's Algorithm 1 avoids.
+
+Soundness under resource limits (Algorithm 1's premise) holds here too:
+a time/node-limited MILP contributes its *dual bound* via
+:meth:`~repro.milp.solution.SolveResult.sound_bound`, intersected with
+the twin-IBP interval bound — never the incumbent objective of an
+interrupted solve, which is unsound on the extremal side.  The returned
+epsilons are therefore always finite and certified; ``exact`` is True
+only when every solve proved optimality.
 """
 
 from __future__ import annotations
@@ -14,11 +22,19 @@ import time
 import numpy as np
 
 from repro.bounds.interval import Box
+from repro.bounds.ranges import RangeTable
 from repro.encoding.btne import encode_btne
 from repro.encoding.itne import encode_itne
 from repro.certify.results import GlobalCertificate
+from repro.milp.expr import as_expr
+from repro.milp.solution import SolveStatus
 from repro.nn.affine import AffineLayer
 from repro.nn.network import Network
+
+#: Statuses meaning "the solver was cut off by a resource limit" — the
+#: only non-optimal outcomes that soundly fall back to a bound.
+#: Infeasible/unbounded/error outcomes are genuine failures and raise.
+_LIMIT_STATUSES = (SolveStatus.TIME_LIMIT, SolveStatus.ITERATION_LIMIT)
 
 
 def certify_exact_global(
@@ -30,7 +46,7 @@ def certify_exact_global(
     time_limit: float | None = None,
     outputs: list[int] | None = None,
 ) -> GlobalCertificate:
-    """Solve Problem 1 exactly via MILP.
+    """Solve Problem 1 via MILP; sound even when ``time_limit`` bites.
 
     Args:
         network: A :class:`Network` or its affine chain.
@@ -39,11 +55,18 @@ def certify_exact_global(
         encoding: ``"itne"`` (all neurons refined) or ``"btne"`` (two
             independent copies, the encoding of [2]).
         backend: MILP backend name.
-        time_limit: Per-MILP time limit in seconds.
+        time_limit: Per-MILP time limit in seconds.  A limited solve
+            never raises: its sound dual bound (or, failing that, the
+            twin-IBP interval bound) certifies the output, and the
+            certificate reports ``exact=False``.  Non-limit failures
+            (infeasible, solver error) still raise — they indicate a
+            broken encoding, not a resource trade-off.
         outputs: Restrict to these output indices (default: all).
 
     Returns:
-        A :class:`GlobalCertificate` with ``exact=True``.
+        A :class:`GlobalCertificate`; ``exact=True`` iff every MILP was
+        solved to proven optimality (``detail["limit_hits"]`` counts the
+        solves that fell back to a bound).
     """
     layers = network.to_affine_layers() if isinstance(network, Network) else network
     if encoding not in ("itne", "btne"):
@@ -55,8 +78,14 @@ def certify_exact_global(
     epsilons = np.zeros(out_dim)
     milp_count = 0
 
+    # Sound a-priori interval bounds on the output distance: the
+    # fallback (and intersection partner) for limited solves.  The same
+    # table feeds the ITNE encoder, so twin IBP runs once.
+    table = RangeTable.from_interval_propagation(layers, input_box, delta)
+    interval = table.layer(len(layers)).dx
+
     if encoding == "itne":
-        enc = encode_itne(layers, input_box, delta)
+        enc = encode_itne(layers, input_box, delta, ranges=table)
         distances = enc.output_distance
         model = enc.model
     else:
@@ -66,30 +95,41 @@ def certify_exact_global(
 
     objectives = []
     for j in targets:
-        objectives.append((_expr(distances[j]), "max"))
-        objectives.append((_expr(distances[j]), "min"))
+        objectives.append((as_expr(distances[j]), "max"))
+        objectives.append((as_expr(distances[j]), "min"))
     results = model.solve_many(objectives, backend=backend, time_limit=time_limit)
     milp_count += len(objectives)
+    limit_hits = 0
     for idx, j in enumerate(targets):
-        # Use the dual bound: sound even if the MILP stopped at a gap.
-        r_hi = results[2 * idx].require_optimal()
-        r_lo = results[2 * idx + 1].require_optimal()
-        hi = r_hi.bound if np.isfinite(r_hi.bound) else r_hi.objective
-        lo = r_lo.bound if np.isfinite(r_lo.bound) else r_lo.objective
+        r_hi = results[2 * idx]
+        r_lo = results[2 * idx + 1]
+        for r in (r_hi, r_lo):
+            if not r.is_optimal and r.status not in _LIMIT_STATUSES:
+                # Only resource limits fall back to a bound; anything
+                # else (infeasible encoding, solver error) must surface.
+                raise RuntimeError(
+                    f"exact global solve failed on output {j}: "
+                    f"status={r.status.value} ({r.message})"
+                )
+        # Sound bounds only: the dual bound of a limited solve, or the
+        # objective of a proven-optimal one — never a limited incumbent.
+        hi = r_hi.sound_bound()
+        lo = r_lo.sound_bound()
+        hi = float(interval.hi[j]) if hi is None else min(hi, float(interval.hi[j]))
+        lo = float(interval.lo[j]) if lo is None else max(lo, float(interval.lo[j]))
+        limit_hits += (not r_hi.is_optimal) + (not r_lo.is_optimal)
         epsilons[j] = max(abs(lo), abs(hi))
 
     return GlobalCertificate(
         delta=float(delta),
         epsilons=epsilons,
         method=f"exact-milp-{encoding}",
-        exact=True,
+        exact=limit_hits == 0,
         solve_time=time.perf_counter() - t0,
         milp_count=milp_count,
-        detail={"encoding": encoding, "binaries": model.num_binary},
+        detail={
+            "encoding": encoding,
+            "binaries": model.num_binary,
+            "limit_hits": limit_hits,
+        },
     )
-
-
-def _expr(handle):
-    from repro.milp.expr import Var
-
-    return handle.to_expr() if isinstance(handle, Var) else handle

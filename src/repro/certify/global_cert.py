@@ -32,6 +32,7 @@ from repro.certify.decomposition import decompose, subnetwork_ranges
 from repro.certify.refinement import select_refinement
 from repro.certify.results import GlobalCertificate
 from repro.encoding.itne import encode_itne
+from repro.milp.expr import as_expr
 from repro.nn.affine import AffineLayer
 from repro.nn.network import Network
 
@@ -177,8 +178,8 @@ class GlobalRobustnessCertifier:
         m_i = self.layers[i - 1].out_dim
         objectives = []
         for j in range(m_i):
-            y_expr = _expr(enc.y[-1][j])
-            dy_expr = _expr(enc.dy[-1][j])
+            y_expr = as_expr(enc.y[-1][j])
+            dy_expr = as_expr(enc.dy[-1][j])
             objectives.extend(
                 [(y_expr, "min"), (y_expr, "max"), (dy_expr, "min"), (dy_expr, "max")]
             )
@@ -207,14 +208,14 @@ class GlobalRobustnessCertifier:
             # no usable bound fall back to the interval value.
             y_lo, y_hi = rec.y.scalar(j)
             dy_lo, dy_hi = rec.dy.scalar(j)
-            lo_c = _sound(r_ylo)
-            hi_c = _sound(r_yhi)
+            lo_c = r_ylo.sound_bound()
+            hi_c = r_yhi.sound_bound()
             if lo_c is not None:
                 y_lo = max(y_lo, lo_c)
             if hi_c is not None:
                 y_hi = min(y_hi, hi_c)
-            lo_c = _sound(r_dlo)
-            hi_c = _sound(r_dhi)
+            lo_c = r_dlo.sound_bound()
+            hi_c = r_dhi.sound_bound()
             if lo_c is not None:
                 dy_lo = max(dy_lo, lo_c)
             if hi_c is not None:
@@ -252,22 +253,3 @@ class GlobalRobustnessCertifier:
             )
 
 
-def _expr(handle):
-    from repro.milp.expr import Var
-
-    return handle.to_expr() if isinstance(handle, Var) else handle
-
-
-def _sound(result) -> float | None:
-    """Sound objective bound of a solve, or None when unusable.
-
-    Preference order: the dual bound (valid even for gap/time-limited
-    MILPs), then the incumbent objective of a proven-optimal solve.
-    """
-    import math
-
-    if math.isfinite(result.bound):
-        return float(result.bound)
-    if result.is_optimal and math.isfinite(result.objective):
-        return float(result.objective)
-    return None

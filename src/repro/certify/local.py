@@ -18,6 +18,7 @@ from repro.bounds.interval import Box
 from repro.certify.decomposition import decompose
 from repro.certify.results import LocalCertificate
 from repro.encoding.single import encode_single_network
+from repro.milp.expr import as_expr
 from repro.nn.affine import AffineLayer, affine_chain_forward
 from repro.nn.network import Network
 
@@ -62,7 +63,7 @@ def certify_local_exact(
     enc = encode_single_network(layers, ball)
     objectives = []
     for handle in enc.output:
-        expr = _expr(handle)
+        expr = as_expr(handle)
         objectives.extend([(expr, "min"), (expr, "max")])
     results = enc.model.solve_many(objectives, backend=backend)
     out_dim = layers[-1].out_dim
@@ -107,7 +108,7 @@ def certify_local_nd(
         enc = encode_single_network(sub.layers, input_box, pre_act_bounds=sub_pre)
         objectives = []
         for handle in enc.y[-1]:
-            expr = _expr(handle)
+            expr = as_expr(handle)
             objectives.extend([(expr, "min"), (expr, "max")])
         results = enc.model.solve_many(objectives, backend=backend)
         m_i = layers[i - 1].out_dim
@@ -145,7 +146,7 @@ def certify_local_lpr(
     enc = encode_single_network(layers, ball, relax_mask=relax_mask)
     objectives = []
     for handle in enc.output:
-        expr = _expr(handle)
+        expr = as_expr(handle)
         objectives.extend([(expr, "min"), (expr, "max")])
     results = enc.model.solve_many(objectives, backend=backend)
     out_dim = layers[-1].out_dim
@@ -155,8 +156,3 @@ def certify_local_lpr(
     )
     return _certificate(layers, center, delta, lo, hi, "local-lpr", False, t0)
 
-
-def _expr(handle):
-    from repro.milp.expr import Var
-
-    return handle.to_expr() if isinstance(handle, Var) else handle

@@ -31,7 +31,7 @@ class _ReluRecord:
 
     __slots__ = ("y_expr", "x_var", "lb", "ub")
 
-    def __init__(self, y_expr: LinExpr, x_var, lb: float, ub: float) -> None:
+    def __init__(self, y_expr: Var | LinExpr, x_var, lb: float, ub: float) -> None:
         self.y_expr = y_expr
         self.x_var = x_var
         self.lb = lb

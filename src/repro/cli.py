@@ -38,6 +38,24 @@ def _add_domain_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--hi", type=float, default=1.0, help="domain upper bound")
 
 
+def _positive_seconds(text: str) -> float:
+    """Argparse type for ``--time-limit``: a strictly positive float.
+
+    ``0`` is rejected explicitly (it is not "no limit" — omit the flag
+    for the 30 s default, or pass ``inf`` for an unlimited solve).
+    """
+    try:
+        value = float(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"invalid time limit: {text!r}") from exc
+    if not value > 0:
+        raise argparse.ArgumentTypeError(
+            f"--time-limit must be > 0 seconds, got {text!r} "
+            "(omit the flag for the default, or pass 'inf' for no limit)"
+        )
+    return value
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -66,8 +84,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="neurons refined per sub-network")
     p_cert.add_argument("--backend", default="scipy",
                         help="scipy | python | python:simplex")
-    p_cert.add_argument("--time-limit", type=float, default=None,
-                        help="per-MILP time limit (seconds)")
+    p_cert.add_argument("--time-limit", type=_positive_seconds, default=None,
+                        help="per-MILP time limit in seconds, > 0 "
+                        "(default: 30 for algorithm1, unlimited for exact; "
+                        "'inf' disables the limit)")
 
     p_att = sub.add_parser("attack", help="PGD under-approximation of ε")
     p_att.add_argument("model", help="path to a .npz network snapshot")
@@ -124,17 +144,21 @@ def _cmd_certify(args) -> int:
     net = load_network(args.model)
     domain = Box.uniform(net.input_dim, args.lo, args.hi)
     if args.method == "algorithm1":
+        # `is not None`, not truthiness: an explicit small limit (e.g.
+        # 0.25) must be honored, and `inf` means "no limit".
+        limit = 30.0 if args.time_limit is None else args.time_limit
         config = CertifierConfig(
             window=args.window,
             refine_count=args.refine,
             backend=args.backend,
-            milp_time_limit=args.time_limit or 30.0,
+            milp_time_limit=None if limit == float("inf") else limit,
         )
         cert = GlobalRobustnessCertifier(net, config).certify(domain, args.delta)
     elif args.method == "exact":
+        limit = args.time_limit
         cert = certify_exact_global(
             net, domain, args.delta, backend=args.backend,
-            time_limit=args.time_limit,
+            time_limit=None if limit in (None, float("inf")) else limit,
         )
     else:
         cert = ReluplexStyleSolver(backend=args.backend).certify(

@@ -14,22 +14,33 @@ Implements the paper's §II-B/§II-C machinery:
   enabling per-neuron choice of exact vs. relaxed encodings.
 """
 
-from repro.encoding.bigm import encode_relu_exact
+from repro.encoding.assembly import RowBlockBuilder, affine_link_rows, row_dot
+from repro.encoding.bigm import encode_relu_exact, relu_exact_rows
 from repro.encoding.btne import BtneEncoding, encode_btne
 from repro.encoding.itne import ItneEncoding, encode_itne
 from repro.encoding.relaxation import (
+    couple_triangle_rows,
+    distance_relaxed_rows,
     encode_distance_relaxed,
     encode_relu_triangle,
     eq4_score,
     eq6_bounds,
     eq6_score,
+    relu_triangle_rows,
 )
 from repro.encoding.single import SingleEncoding, encode_single_network
 
 __all__ = [
+    "RowBlockBuilder",
+    "affine_link_rows",
+    "row_dot",
     "encode_relu_exact",
+    "relu_exact_rows",
     "encode_relu_triangle",
+    "relu_triangle_rows",
     "encode_distance_relaxed",
+    "distance_relaxed_rows",
+    "couple_triangle_rows",
     "eq6_bounds",
     "eq4_score",
     "eq6_score",

@@ -1,8 +1,16 @@
-"""Exact big-M MILP encoding of a single ReLU relation."""
+"""Exact big-M MILP encoding of a single ReLU relation.
+
+Two assembly styles produce the same rows: :func:`encode_relu_exact`
+builds them as expression comparisons (dict-based, the reference path),
+while :func:`relu_exact_rows` appends the identical coefficients to a
+:class:`~repro.encoding.assembly.RowBlockBuilder` for array-native batch
+insertion — the encoders' fast path.
+"""
 
 from __future__ import annotations
 
-from repro.milp import Model, Var
+from repro.encoding.assembly import RowBlockBuilder, handle_terms
+from repro.milp import Model, Sense, Var
 from repro.milp.expr import LinExpr
 
 
@@ -49,4 +57,39 @@ def encode_relu_exact(
     model.add_constr(x >= y_expr)
     model.add_constr(x <= y_expr - lb * (1 - z))
     model.add_constr(x <= ub * z)
+    return x
+
+
+def relu_exact_rows(
+    model: Model,
+    rows: RowBlockBuilder,
+    y: Var | LinExpr,
+    lb: float,
+    ub: float,
+    name: str = "relu",
+) -> Var:
+    """Block-assembly twin of :func:`encode_relu_exact`.
+
+    Creates the same variables in the same order and appends the same
+    coefficient rows to ``rows`` instead of the model's constraint list;
+    the caller flushes one block per layer.
+
+    Returns:
+        The post-activation variable ``x``.
+    """
+    if lb > ub:
+        raise ValueError(f"invalid ReLU bounds [{lb}, {ub}]")
+    if ub <= 0.0:
+        return model.add_var(lb=0.0, ub=0.0, name=f"{name}.x")
+    y_idx, y_coef, y0 = handle_terms(y)
+    neg = [-c for c in y_coef]
+    if lb >= 0.0:
+        x = model.add_var(lb=lb, ub=ub, name=f"{name}.x")
+        rows.add([x.index, *y_idx], [1.0, *neg], Sense.EQ, y0)
+        return x
+    x = model.add_var(lb=0.0, ub=ub, name=f"{name}.x")
+    z = model.add_var(vtype="binary", name=f"{name}.z")
+    rows.add([x.index, *y_idx], [1.0, *neg], Sense.GE, y0)
+    rows.add([x.index, *y_idx, z.index], [1.0, *neg, -lb], Sense.LE, y0 - lb)
+    rows.add([x.index, z.index], [1.0, -ub], Sense.LE, 0.0)
     return x

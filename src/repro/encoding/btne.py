@@ -14,8 +14,8 @@ import numpy as np
 
 from repro.bounds.interval import Box
 from repro.encoding.single import SingleEncoding, encode_single_network
-from repro.milp import Model
-from repro.milp.expr import LinExpr, Var
+from repro.milp import Model, Sense
+from repro.milp.expr import LinExpr, Var, as_expr
 from repro.nn.affine import AffineLayer
 
 
@@ -41,6 +41,7 @@ def encode_btne(
     input_box: Box,
     delta: float | Box,
     relax_mask: list[np.ndarray] | None = None,
+    vectorized: bool = True,
 ) -> BtneEncoding:
     """Encode the twin pair under BTNE.
 
@@ -50,16 +51,20 @@ def encode_btne(
         delta: L∞ perturbation bound δ (or an explicit perturbation box).
         relax_mask: Optional per-layer relax masks applied to *both*
             copies (True = triangle relaxation).
+        vectorized: Emit per-layer constraint blocks (default); False
+            uses the per-neuron dict-based reference assembly.
 
     Returns:
         A :class:`BtneEncoding`.
     """
     model = Model("btne")
     first = encode_single_network(
-        layers, input_box, relax_mask=relax_mask, model=model, prefix="a"
+        layers, input_box, relax_mask=relax_mask, model=model, prefix="a",
+        vectorized=vectorized,
     )
     second = encode_single_network(
-        layers, input_box, relax_mask=relax_mask, model=model, prefix="b"
+        layers, input_box, relax_mask=relax_mask, model=model, prefix="b",
+        vectorized=vectorized,
     )
 
     if isinstance(delta, Box):
@@ -67,17 +72,23 @@ def encode_btne(
     else:
         d_lo = np.full(input_box.dim, -float(delta))
         d_hi = np.full(input_box.dim, float(delta))
-    for k, (xa, xb) in enumerate(zip(first.input_vars, second.input_vars)):
-        diff = xb - xa
-        model.add_constr(diff <= float(d_hi[k]))
-        model.add_constr(diff >= float(d_lo[k]))
+    if vectorized:
+        from repro.encoding.assembly import RowBlockBuilder
+
+        link = RowBlockBuilder()
+        for k, (xa, xb) in enumerate(zip(first.input_vars, second.input_vars)):
+            pair = [xb.index, xa.index]
+            link.add(pair, [1.0, -1.0], Sense.LE, float(d_hi[k]))
+            link.add(pair, [1.0, -1.0], Sense.GE, float(d_lo[k]))
+        link.flush(model, name="delta.link")
+    else:
+        for k, (xa, xb) in enumerate(zip(first.input_vars, second.input_vars)):
+            diff = xb - xa
+            model.add_constr(diff <= float(d_hi[k]))
+            model.add_constr(diff >= float(d_lo[k]))
 
     output_distance = [
-        _as_expr(xb) - _as_expr(xa)
+        as_expr(xb) - as_expr(xa)
         for xa, xb in zip(first.output, second.output)
     ]
     return BtneEncoding(model, first, second, output_distance)
-
-
-def _as_expr(handle: Var | LinExpr) -> LinExpr:
-    return handle.to_expr() if isinstance(handle, Var) else handle

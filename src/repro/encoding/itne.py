@@ -13,20 +13,36 @@ replaced by the distance relation ``Δx = relu(y + Δy) − relu(y)``:
 
 With every neuron refined, optimizing ``Δx(n)`` over this encoding
 solves the exact global-robustness problem of Eq. 1.
+
+Pre-activations ``y(i)`` and their distances ``Δy(i)`` are model
+variables linked to the previous layer by one equality block each
+(``y − W x = b``, ``Δy − W Δx = 0``); the globally valid range cuts of
+Algorithm 1 become their variable bounds.  The default assembly is
+array-native (per-layer COO blocks, see :mod:`repro.encoding.assembly`);
+``vectorized=False`` builds the identical formulation with per-neuron
+expression dicts for equivalence testing and benchmarking.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.bounds.interval import Box
 from repro.bounds.ranges import RangeTable
-from repro.encoding.bigm import encode_relu_exact
-from repro.encoding.relaxation import encode_distance_relaxed, encode_relu_triangle
-from repro.milp import Model
-from repro.milp.expr import LinExpr, Var
+from repro.encoding.assembly import RowBlockBuilder, affine_link_rows, row_dot
+from repro.encoding.bigm import encode_relu_exact, relu_exact_rows
+from repro.encoding.relaxation import (
+    couple_triangle_rows,
+    distance_relaxed_rows,
+    encode_distance_relaxed,
+    encode_relu_triangle,
+    relu_triangle_rows,
+)
+from repro.milp import Model, Sense
+from repro.milp.expr import LinExpr, Var, as_expr
 from repro.nn.affine import AffineLayer
 
 Handle = "Var | LinExpr"
@@ -40,18 +56,19 @@ class ItneEncoding:
         model: The underlying MILP/LP.
         input_vars: Variables for ``x(0)`` (one network copy's input).
         input_dist_vars: Variables for ``Δx(0)`` (the perturbation).
-        y: Per-layer pre-activation expressions of the first copy.
-        dy: Per-layer pre-activation *distance* expressions.
+        y: Per-layer pre-activation variables of the first copy.
+        dy: Per-layer pre-activation *distance* variables.
         x: Per-layer post-activation handles of the first copy.
-        dx: Per-layer post-activation distance handles.
+        dx: Per-layer post-activation distance handles (an expression
+            ``x̂ − x`` for refined neurons, a variable otherwise).
         num_binaries: Integer variables introduced (refinement cost).
     """
 
     model: Model
     input_vars: list[Var]
     input_dist_vars: list[Var]
-    y: list[list[LinExpr]] = field(default_factory=list)
-    dy: list[list[LinExpr]] = field(default_factory=list)
+    y: list[list[Var]] = field(default_factory=list)
+    dy: list[list[Var]] = field(default_factory=list)
     x: list[list[Var | LinExpr]] = field(default_factory=list)
     dx: list[list[Var | LinExpr]] = field(default_factory=list)
 
@@ -81,6 +98,7 @@ def encode_itne(
     clip_second_input: bool = True,
     model: Model | None = None,
     prefix: str = "t",
+    vectorized: bool = True,
 ) -> ItneEncoding:
     """Encode the twin pair under ITNE.
 
@@ -104,6 +122,9 @@ def encode_itne(
             Definition 1).
         model: Existing model to extend.
         prefix: Variable-name prefix.
+        vectorized: Emit per-layer constraint blocks (default); False
+            assembles the same formulation per neuron via expression
+            dicts (reference path).
 
     Returns:
         An :class:`ItneEncoding`.
@@ -118,19 +139,25 @@ def encode_itne(
     if ranges is None:
         ranges = RangeTable.from_interval_propagation(layers, input_box, delta_box)
 
-    input_vars = [
-        model.add_var(lb=float(lo), ub=float(hi), name=f"{prefix}.x0[{k}]")
-        for k, (lo, hi) in enumerate(zip(input_box.lo, input_box.hi))
-    ]
-    input_dist_vars = [
-        model.add_var(lb=float(lo), ub=float(hi), name=f"{prefix}.dx0[{k}]")
-        for k, (lo, hi) in enumerate(zip(delta_box.lo, delta_box.hi))
-    ]
+    input_vars = model.add_vars_array(
+        input_box.dim, lb=input_box.lo, ub=input_box.hi, prefix=f"{prefix}.x0"
+    )
+    input_dist_vars = model.add_vars_array(
+        delta_box.dim, lb=delta_box.lo, ub=delta_box.hi, prefix=f"{prefix}.dx0"
+    )
     if clip_second_input:
-        for k, (x0, d0) in enumerate(zip(input_vars, input_dist_vars)):
-            second = x0 + d0
-            model.add_constr(second >= float(input_box.lo[k]))
-            model.add_constr(second <= float(input_box.hi[k]))
+        if vectorized:
+            clip = RowBlockBuilder()
+            for k, (x0, d0) in enumerate(zip(input_vars, input_dist_vars)):
+                pair = [x0.index, d0.index]
+                clip.add(pair, [1.0, 1.0], Sense.GE, float(input_box.lo[k]))
+                clip.add(pair, [1.0, 1.0], Sense.LE, float(input_box.hi[k]))
+            clip.flush(model, name=f"{prefix}.clip")
+        else:
+            for k, (x0, d0) in enumerate(zip(input_vars, input_dist_vars)):
+                second = x0 + d0
+                model.add_constr(second >= float(input_box.lo[k]))
+                model.add_constr(second <= float(input_box.hi[k]))
 
     enc = ItneEncoding(model, input_vars, input_dist_vars)
     cur_x: list[Var | LinExpr] = list(input_vars)
@@ -139,67 +166,123 @@ def encode_itne(
     for i, layer in enumerate(layers):
         layer_ranges = ranges.layer(i + 1)
         mask = None if refine_mask is None else refine_mask[i]
-        y_list: list[LinExpr] = []
-        dy_list: list[LinExpr] = []
-        x_list: list[Var | LinExpr] = []
-        dx_list: list[Var | LinExpr] = []
-        for j in range(layer.out_dim):
-            w_row = layer.weight[j]
-            y_expr = _row_dot(w_row, cur_x, float(layer.bias[j]))
-            dy_expr = _row_dot(w_row, cur_dx, 0.0)
-            y_list.append(y_expr)
-            dy_list.append(dy_expr)
-
-            if not layer.relu:
-                x_list.append(y_expr)
-                dx_list.append(dy_expr)
-                continue
-
-            y_lb, y_ub = layer_ranges.y.scalar(j)
-            dy_lb, dy_ub = layer_ranges.dy.scalar(j)
-            tag = f"{prefix}.l{i}n{j}"
-            # Range cuts: Algorithm 1 lists the hidden-neuron ranges
-            # y(i−k), Δy(i−k) as prerequisites of every sub-network
-            # problem.  They are globally valid (derived from the full
-            # network earlier), so adding them as constraints is sound —
-            # and necessary: inside a decomposed slice the box-relaxed
-            # inputs can otherwise reach y/Δy values outside these
-            # ranges, where the exact big-M encoding admits distance
-            # values the Eq. 6 butterfly would have cut off (making a
-            # *refined* neuron paradoxically looser than a relaxed one).
-            model.add_constr(y_expr >= y_lb)
-            model.add_constr(y_expr <= y_ub)
-            model.add_constr(dy_expr >= dy_lb)
-            model.add_constr(dy_expr <= dy_ub)
-            refine = True if mask is None else bool(mask[j])
-            if refine:
-                x_var = encode_relu_exact(model, y_expr, y_lb, y_ub, name=tag)
-                xhat_var = encode_relu_exact(
-                    model,
-                    y_expr + dy_expr,
-                    y_lb + dy_lb,
-                    y_ub + dy_ub,
-                    name=f"{tag}.hat",
+        m_i = layer.out_dim
+        # Range cuts: Algorithm 1 lists the hidden-neuron ranges
+        # y(i−k), Δy(i−k) as prerequisites of every sub-network
+        # problem.  They are globally valid (derived from the full
+        # network earlier), so imposing them is sound — and necessary:
+        # inside a decomposed slice the box-relaxed inputs can
+        # otherwise reach y/Δy values outside these ranges, where the
+        # exact big-M encoding admits distance values the Eq. 6
+        # butterfly would have cut off (making a *refined* neuron
+        # paradoxically looser than a relaxed one).  With y/Δy as model
+        # variables the cuts are simply their bounds.
+        if layer.relu:
+            y_lo, y_hi = layer_ranges.y.lo, layer_ranges.y.hi
+            dy_lo, dy_hi = layer_ranges.dy.lo, layer_ranges.dy.hi
+        else:
+            y_lo = dy_lo = -math.inf
+            y_hi = dy_hi = math.inf
+        y_vars = model.add_vars_array(m_i, lb=y_lo, ub=y_hi, prefix=f"{prefix}.y{i}")
+        dy_vars = model.add_vars_array(
+            m_i, lb=dy_lo, ub=dy_hi, prefix=f"{prefix}.dy{i}"
+        )
+        zero_bias = np.zeros(m_i)
+        rows: RowBlockBuilder | None = None
+        if vectorized:
+            affine_link_rows(
+                model, y_vars, layer.weight, cur_x, layer.bias,
+                name=f"{prefix}.l{i}.link",
+            )
+            affine_link_rows(
+                model, dy_vars, layer.weight, cur_dx, zero_bias,
+                name=f"{prefix}.l{i}.dlink",
+            )
+            rows = RowBlockBuilder()
+        else:
+            for j in range(m_i):
+                model.add_constr(
+                    y_vars[j]
+                    == row_dot(layer.weight[j], cur_x, float(layer.bias[j]))
                 )
-                x_list.append(x_var)
-                dx_list.append(_as_expr(xhat_var) - _as_expr(x_var))
-            else:
-                x_var = encode_relu_triangle(model, y_expr, y_lb, y_ub, name=tag)
-                dx_var = encode_distance_relaxed(
-                    model, dy_expr, dy_lb, dy_ub, name=tag
+            for j in range(m_i):
+                model.add_constr(
+                    dy_vars[j] == row_dot(layer.weight[j], cur_dx, 0.0)
                 )
-                if couple_second_copy:
-                    _couple_triangle(
-                        model,
-                        x_var + dx_var,
-                        y_expr + dy_expr,
-                        y_lb + dy_lb,
-                        y_ub + dy_ub,
-                    )
-                x_list.append(x_var)
-                dx_list.append(dx_var)
-        enc.y.append(y_list)
-        enc.dy.append(dy_list)
+
+        if not layer.relu:
+            x_list: list[Var | LinExpr] = list(y_vars)
+            dx_list: list[Var | LinExpr] = list(dy_vars)
+        else:
+            x_list = []
+            dx_list = []
+            for j in range(m_i):
+                y_var, dy_var = y_vars[j], dy_vars[j]
+                y_lb, y_ub = layer_ranges.y.scalar(j)
+                dy_lb, dy_ub = layer_ranges.dy.scalar(j)
+                tag = f"{prefix}.l{i}n{j}"
+                refine = True if mask is None else bool(mask[j])
+                if refine:
+                    if rows is not None:
+                        x_var = relu_exact_rows(model, rows, y_var, y_lb, y_ub, name=tag)
+                        xhat_var = relu_exact_rows(
+                            model,
+                            rows,
+                            y_var + dy_var,
+                            y_lb + dy_lb,
+                            y_ub + dy_ub,
+                            name=f"{tag}.hat",
+                        )
+                    else:
+                        x_var = encode_relu_exact(model, y_var, y_lb, y_ub, name=tag)
+                        xhat_var = encode_relu_exact(
+                            model,
+                            y_var + dy_var,
+                            y_lb + dy_lb,
+                            y_ub + dy_ub,
+                            name=f"{tag}.hat",
+                        )
+                    x_list.append(x_var)
+                    dx_list.append(as_expr(xhat_var) - as_expr(x_var))
+                else:
+                    if rows is not None:
+                        x_var = relu_triangle_rows(
+                            model, rows, y_var, y_lb, y_ub, name=tag
+                        )
+                        dx_var = distance_relaxed_rows(
+                            model, rows, dy_var, dy_lb, dy_ub, name=tag
+                        )
+                        if couple_second_copy:
+                            couple_triangle_rows(
+                                rows,
+                                x_var,
+                                dx_var,
+                                y_var,
+                                dy_var,
+                                y_lb + dy_lb,
+                                y_ub + dy_ub,
+                            )
+                    else:
+                        x_var = encode_relu_triangle(
+                            model, y_var, y_lb, y_ub, name=tag
+                        )
+                        dx_var = encode_distance_relaxed(
+                            model, dy_var, dy_lb, dy_ub, name=tag
+                        )
+                        if couple_second_copy:
+                            _couple_triangle(
+                                model,
+                                x_var + dx_var,
+                                y_var + dy_var,
+                                y_lb + dy_lb,
+                                y_ub + dy_ub,
+                            )
+                    x_list.append(x_var)
+                    dx_list.append(dx_var)
+        if rows is not None:
+            rows.flush(model, name=f"{prefix}.l{i}.relu")
+        enc.y.append(list(y_vars))
+        enc.dy.append(list(dy_vars))
         enc.x.append(x_list)
         enc.dx.append(dx_list)
         cur_x, cur_dx = x_list, dx_list
@@ -220,25 +303,3 @@ def _couple_triangle(
     model.add_constr(xhat >= yhat)
     slope = ub / (ub - lb)
     model.add_constr(xhat <= slope * yhat - slope * lb)
-
-
-def _as_expr(handle) -> LinExpr:
-    return handle.to_expr() if isinstance(handle, Var) else handle
-
-
-def _row_dot(weights: np.ndarray, handles, bias: float) -> LinExpr:
-    """Affine combination ``w · handles + bias`` over mixed handles."""
-    total = LinExpr.constant_expr(bias)
-    direct_vars = []
-    direct_w = []
-    for w, h in zip(weights, handles):
-        if w == 0.0:
-            continue
-        if isinstance(h, Var):
-            direct_vars.append(h)
-            direct_w.append(float(w))
-        else:
-            total = total + h * float(w)
-    if direct_vars:
-        total = total + LinExpr.weighted_sum(direct_vars, direct_w)
-    return total

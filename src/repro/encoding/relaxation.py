@@ -8,7 +8,8 @@ quantities Algorithm 1 ranks to pick which neurons to refine.
 
 from __future__ import annotations
 
-from repro.milp import Model, Var
+from repro.encoding.assembly import RowBlockBuilder, handle_terms
+from repro.milp import Model, Sense, Var
 from repro.milp.expr import LinExpr
 
 
@@ -45,6 +46,40 @@ def encode_relu_triangle(
     model.add_constr(x >= y_expr)
     slope = ub / (ub - lb)
     model.add_constr(x <= slope * y_expr - slope * lb)
+    return x
+
+
+def relu_triangle_rows(
+    model: Model,
+    rows: RowBlockBuilder,
+    y: Var | LinExpr,
+    lb: float,
+    ub: float,
+    name: str = "relu",
+) -> Var:
+    """Block-assembly twin of :func:`encode_relu_triangle`.
+
+    Same variables, same coefficient rows, appended to ``rows`` for one
+    batched insertion per layer.
+    """
+    if lb > ub:
+        raise ValueError(f"invalid ReLU bounds [{lb}, {ub}]")
+    if ub <= 0.0:
+        return model.add_var(lb=0.0, ub=0.0, name=f"{name}.x")
+    y_idx, y_coef, y0 = handle_terms(y)
+    if lb >= 0.0:
+        x = model.add_var(lb=lb, ub=ub, name=f"{name}.x")
+        rows.add([x.index, *y_idx], [1.0, *(-c for c in y_coef)], Sense.EQ, y0)
+        return x
+    x = model.add_var(lb=0.0, ub=ub, name=f"{name}.x")
+    rows.add([x.index, *y_idx], [1.0, *(-c for c in y_coef)], Sense.GE, y0)
+    slope = ub / (ub - lb)
+    rows.add(
+        [x.index, *y_idx],
+        [1.0, *(-(slope * c) for c in y_coef)],
+        Sense.LE,
+        slope * y0 - slope * lb,
+    )
     return x
 
 
@@ -94,6 +129,68 @@ def encode_distance_relaxed(
     # Upper: dx <= u*(dy - l)/span
     model.add_constr(dx <= (u / span) * dy_expr - (u * l) / span)
     return dx
+
+
+def distance_relaxed_rows(
+    model: Model,
+    rows: RowBlockBuilder,
+    dy: Var | LinExpr,
+    dy_lb: float,
+    dy_ub: float,
+    name: str = "dist",
+) -> Var:
+    """Block-assembly twin of :func:`encode_distance_relaxed`."""
+    if dy_lb > dy_ub:
+        raise ValueError(f"invalid Δy bounds [{dy_lb}, {dy_ub}]")
+    l, u = eq6_bounds(dy_lb, dy_ub)
+    if u - l <= 0.0:
+        return model.add_var(lb=0.0, ub=0.0, name=f"{name}.dx")
+    dx = model.add_var(lb=l, ub=u, name=f"{name}.dx")
+    d_idx, d_coef, d0 = handle_terms(dy)
+    span = u - l
+    lo_s = l / span
+    hi_s = u / span
+    rows.add(
+        [dx.index, *d_idx],
+        [1.0, *((c * lo_s) for c in d_coef)],
+        Sense.GE,
+        -(d0 * lo_s) + (l * u) / span,
+    )
+    rows.add(
+        [dx.index, *d_idx],
+        [1.0, *(-(c * hi_s) for c in d_coef)],
+        Sense.LE,
+        d0 * hi_s - (u * l) / span,
+    )
+    return dx
+
+
+def couple_triangle_rows(
+    rows: RowBlockBuilder,
+    x: Var,
+    dx: Var,
+    y: Var,
+    dy: Var,
+    lb: float,
+    ub: float,
+) -> None:
+    """Triangle rows on the implicit second copy ``x̂ = x + Δx``.
+
+    Block-assembly twin of the interleaving encoder's second-copy
+    coupling: constrains ``x + Δx`` against ``y + Δy`` with the Eq. 4
+    triangle over the hat bounds ``[lb, ub]``.
+    """
+    if ub <= 0.0:
+        rows.add([x.index, dx.index], [1.0, 1.0], Sense.EQ, 0.0)
+        return
+    hat = [x.index, dx.index, y.index, dy.index]
+    if lb >= 0.0:
+        rows.add(hat, [1.0, 1.0, -1.0, -1.0], Sense.EQ, 0.0)
+        return
+    rows.add([x.index, dx.index], [1.0, 1.0], Sense.GE, 0.0)
+    rows.add(hat, [1.0, 1.0, -1.0, -1.0], Sense.GE, 0.0)
+    slope = ub / (ub - lb)
+    rows.add(hat, [1.0, 1.0, -slope, -slope], Sense.LE, -slope * lb)
 
 
 def eq4_score(lb: float, ub: float) -> float:

@@ -34,8 +34,8 @@ Typical usage::
     print(result[x], result[z])
 """
 
-from repro.milp.expr import LinExpr, Var, VType
-from repro.milp.model import Constraint, Model, Sense
+from repro.milp.expr import LinExpr, Var, VType, as_expr
+from repro.milp.model import Constraint, ConstraintBlock, Model, Sense
 from repro.milp.solution import SolveResult, SolveStatus
 from repro.milp.backend import available_backends, get_backend
 
@@ -43,7 +43,9 @@ __all__ = [
     "Var",
     "VType",
     "LinExpr",
+    "as_expr",
     "Constraint",
+    "ConstraintBlock",
     "Model",
     "Sense",
     "SolveResult",

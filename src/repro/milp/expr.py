@@ -131,6 +131,21 @@ class Var:
         return f"Var({self.name}, [{self.lb}, {self.ub}], {self.vtype.value})"
 
 
+def as_expr(handle: "Var | LinExpr | Number") -> "LinExpr":
+    """Coerce a handle (``Var``, ``LinExpr`` or number) to a :class:`LinExpr`.
+
+    Encoders hand out mixed ``Var``/``LinExpr`` handles (a post-activation
+    neuron is a variable, an output distance may be a two-term
+    expression); every consumer that builds objectives or constraints
+    from them needs this exact coercion.  A ``Var`` is wrapped via
+    :meth:`Var.to_expr`, an expression passes through unchanged, and a
+    number becomes a constant expression.
+    """
+    if isinstance(handle, Var):
+        return handle.to_expr()
+    return LinExpr._as_expr(handle)
+
+
 class LinExpr:
     """A sparse affine expression ``sum coef[i] * var[i] + constant``.
 

@@ -23,6 +23,10 @@ class Sense(enum.Enum):
     EQ = "=="
 
 
+#: Compact per-row sense codes used inside :class:`ConstraintBlock`.
+_SENSE_LE, _SENSE_GE, _SENSE_EQ = 0, 1, 2
+
+
 class Constraint:
     """A linear constraint ``expr (<=|>=|==) 0`` in normalized form.
 
@@ -59,12 +63,91 @@ class Constraint:
         return f"{label}{self.expr!r} {self.sense.value} {self.rhs:g}"
 
 
+_SENSE_CODES = {Sense.LE: _SENSE_LE, Sense.GE: _SENSE_GE, Sense.EQ: _SENSE_EQ}
+
+
+class ConstraintBlock:
+    """A batch of linear rows stored as COO triplets over variable indices.
+
+    This is the array-native counterpart of a list of :class:`Constraint`
+    objects: ``k`` rows are held as parallel numpy arrays instead of one
+    coefficient dict per row, so whole affine layers can be appended (and
+    later exported to standard form) without any per-coefficient Python
+    work.  Rows are normalized at construction: ``>=`` rows are negated
+    into ``<=`` form, so only ``is_eq`` distinguishes row kinds.
+
+    Attributes:
+        data: Coefficient values, one per non-zero entry.
+        row: Local row index (``0..num_rows-1``) per entry.
+        col: Global variable index per entry.
+        is_eq: Per-row flag; True for ``==`` rows, False for ``<=`` rows.
+        rhs: Per-row right-hand side (already negated for former ``>=``).
+        name: Optional block label for debugging.
+    """
+
+    __slots__ = ("data", "row", "col", "is_eq", "rhs", "name")
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        row: np.ndarray,
+        col: np.ndarray,
+        is_eq: np.ndarray,
+        rhs: np.ndarray,
+        name: str = "",
+    ) -> None:
+        self.data = data
+        self.row = row
+        self.col = col
+        self.is_eq = is_eq
+        self.rhs = rhs
+        self.name = name
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows in the block."""
+        return int(self.rhs.shape[0])
+
+    @property
+    def num_entries(self) -> int:
+        """Number of stored coefficients."""
+        return int(self.data.shape[0])
+
+    def copy(self) -> "ConstraintBlock":
+        """Independent copy (arrays are duplicated)."""
+        return ConstraintBlock(
+            self.data.copy(),
+            self.row.copy(),
+            self.col.copy(),
+            self.is_eq.copy(),
+            self.rhs.copy(),
+            self.name,
+        )
+
+    def activities(self, values: np.ndarray) -> np.ndarray:
+        """Row activities ``A @ values`` (duplicate entries summed)."""
+        acc = np.zeros(self.num_rows)
+        np.add.at(acc, self.row, self.data * values[self.col])
+        return acc
+
+    def __repr__(self) -> str:
+        label = f"[{self.name}] " if self.name else ""
+        return (
+            f"{label}ConstraintBlock(rows={self.num_rows}, "
+            f"nnz={self.num_entries}, eq={int(self.is_eq.sum())})"
+        )
+
+
 class Model:
     """A mixed-integer linear program under construction.
 
     The model owns its variables; expressions and constraints reference
-    them by index.  Solving delegates to a pluggable backend (HiGHS via
-    scipy by default, or the pure-Python branch-and-bound solver).
+    them by index.  Constraints come in two interchangeable forms:
+    per-row :class:`Constraint` objects built with ``<=``/``>=``/``==``
+    on expressions, and :class:`ConstraintBlock` batches appended
+    array-natively via :meth:`add_linear_rows` (the encoders' fast
+    path).  Solving delegates to a pluggable backend (HiGHS via scipy by
+    default, or the pure-Python branch-and-bound solver).
     """
 
     def __init__(self, name: str = "model") -> None:
@@ -72,6 +155,7 @@ class Model:
         self._id = next(_model_counter)
         self.variables: list[Var] = []
         self.constraints: list[Constraint] = []
+        self._blocks: list[ConstraintBlock] = []
         self.objective: LinExpr = LinExpr.constant_expr(0.0)
         self.objective_sense: str = "min"
         self._names: set[str] = set()
@@ -124,6 +208,40 @@ class Model:
             for j in range(count)
         ]
 
+    def add_vars_array(
+        self,
+        count: int,
+        lb: float | np.ndarray = 0.0,
+        ub: float | np.ndarray = math.inf,
+        prefix: str = "v",
+        vtype: VType | str = VType.CONTINUOUS,
+    ) -> list[Var]:
+        """Create ``count`` variables in one call with per-element bounds.
+
+        Unlike :meth:`add_vars`, the bounds may be arrays (one entry per
+        variable), which is how the encoders append a whole layer of
+        input/pre-activation variables at once.
+
+        Args:
+            count: Number of variables to create.
+            lb: Scalar or length-``count`` array of lower bounds.
+            ub: Scalar or length-``count`` array of upper bounds.
+            prefix: Names become ``f"{prefix}[{j}]"``.
+            vtype: Shared variable type.
+
+        Returns:
+            The new variables, in index order.
+        """
+        lbs = np.broadcast_to(np.asarray(lb, dtype=float), (count,))
+        ubs = np.broadcast_to(np.asarray(ub, dtype=float), (count,))
+        return [
+            self.add_var(
+                lb=float(lbs[j]), ub=float(ubs[j]),
+                name=f"{prefix}[{j}]", vtype=vtype,
+            )
+            for j in range(count)
+        ]
+
     @property
     def num_vars(self) -> int:
         """Number of variables in the model."""
@@ -151,10 +269,152 @@ class Model:
         """Register several constraints at once."""
         return [self.add_constr(c) for c in constraints]
 
+    def add_linear_rows(
+        self,
+        coeffs,
+        senses,
+        rhs,
+        name: str = "",
+    ) -> ConstraintBlock:
+        """Append a whole block of linear rows in one array-native call.
+
+        This is the vectorized counterpart of repeated :meth:`add_constr`
+        calls: the rows are stored as COO triplets and flow into
+        :meth:`to_standard_form` by concatenation, never materializing a
+        per-row coefficient dict.  The network encoders use it to append
+        one affine layer (``y - W x = b``) per call.
+
+        Args:
+            coeffs: One of
+                * a dense ``(k, num_vars)`` array,
+                * a scipy sparse matrix of that shape,
+                * COO triplets ``(data, (row, col))`` with ``row`` local
+                  to this block (``0..k-1``) and ``col`` global variable
+                  indices.  Duplicate ``(row, col)`` entries are summed.
+            senses: A single sense for every row or a length-``k``
+                sequence; each entry a :class:`Sense` or one of
+                ``"<="``, ``">="``, ``"=="``.
+            rhs: Scalar or length-``k`` right-hand-side array.  For
+                triplet input at least one of ``rhs``/``senses`` must be
+                a length-``k`` sequence — the row count is taken from
+                it, never inferred from the triplets (all-zero trailing
+                rows would silently vanish).
+            name: Optional block label.
+
+        Returns:
+            The registered :class:`ConstraintBlock` (rows normalized:
+            ``>=`` rows are stored negated as ``<=``).
+        """
+        n = self.num_vars
+        if isinstance(coeffs, tuple):
+            data, (row, col) = coeffs
+            # Copy on ingest: the block must not alias caller arrays
+            # (same hazard Box.__post_init__ guards against).
+            data = np.array(data, dtype=float, copy=True)
+            row = np.array(row, dtype=np.int64, copy=True)
+            col = np.array(col, dtype=np.int64, copy=True)
+            num_rows = self._block_row_count(senses, rhs, row)
+        elif hasattr(coeffs, "tocoo"):
+            if int(coeffs.shape[1]) != n:
+                raise ValueError(
+                    f"coefficient block has {coeffs.shape[1]} columns, "
+                    f"model has {n} variables"
+                )
+            coo = coeffs.tocoo()
+            # tocoo() may share the caller's data array — copy so the
+            # GE negation below never writes through to the caller.
+            data = np.array(coo.data, dtype=float, copy=True)
+            row = np.array(coo.row, dtype=np.int64, copy=True)
+            col = np.array(coo.col, dtype=np.int64, copy=True)
+            num_rows = int(coeffs.shape[0])
+        else:
+            dense = np.asarray(coeffs, dtype=float)
+            if dense.ndim != 2:
+                raise ValueError("dense coefficient block must be 2-D")
+            if dense.shape[1] != n:
+                raise ValueError(
+                    f"coefficient block has {dense.shape[1]} columns, "
+                    f"model has {n} variables"
+                )
+            r, c = np.nonzero(dense)
+            data = dense[r, c]
+            row = r.astype(np.int64)
+            col = c.astype(np.int64)
+            num_rows = int(dense.shape[0])
+        if data.shape != row.shape or data.shape != col.shape:
+            raise ValueError("COO triplet arrays must have matching lengths")
+        if row.size:
+            if row.min() < 0 or row.max() >= num_rows:
+                raise ValueError("block row index out of range")
+            if col.min() < 0 or col.max() >= n:
+                raise ValueError("block column index exceeds num_vars")
+        if not np.isfinite(data).all():
+            raise ValueError("block coefficients must be finite")
+
+        sense_codes = self._coerce_senses(senses, num_rows)
+        rhs_arr = np.array(
+            np.broadcast_to(np.asarray(rhs, dtype=float), (num_rows,))
+        )
+        if not np.isfinite(rhs_arr).all():
+            raise ValueError("block right-hand sides must be finite")
+
+        ge_rows = sense_codes == _SENSE_GE
+        if ge_rows.any():
+            flip = ge_rows[row]
+            data[flip] = -data[flip]
+            rhs_arr[ge_rows] = -rhs_arr[ge_rows]
+        block = ConstraintBlock(
+            data, row, col, sense_codes == _SENSE_EQ, rhs_arr, name
+        )
+        self._blocks.append(block)
+        return block
+
+    @staticmethod
+    def _block_row_count(senses, rhs, row: np.ndarray) -> int:
+        """Row count of a triplet block, from the rhs/senses length.
+
+        Inferring it from ``row.max() + 1`` would silently drop trailing
+        rows whose coefficients are all zero (``0 <= rhs`` rows, which
+        can encode infeasibility), so a length-bearing ``rhs`` or
+        ``senses`` is required for triplet input.
+        """
+        for candidate in (rhs, senses):
+            if isinstance(candidate, np.ndarray):
+                return int(candidate.shape[0])
+            if isinstance(candidate, (list, tuple)):
+                return len(candidate)
+        raise ValueError(
+            "COO-triplet blocks need the row count: pass rhs (or senses) "
+            "as a length-k sequence, not scalars"
+        )
+
+    @staticmethod
+    def _coerce_senses(senses, num_rows: int) -> np.ndarray:
+        """Normalize senses to an int code array (0 LE, 1 GE, 2 EQ)."""
+
+        def code(s) -> int:
+            if not isinstance(s, Sense):
+                s = Sense(str(s))
+            return _SENSE_CODES[s]
+
+        if isinstance(senses, (Sense, str)):
+            return np.full(num_rows, code(senses), dtype=np.int8)
+        arr = np.fromiter((code(s) for s in senses), dtype=np.int8)
+        if arr.shape[0] != num_rows:
+            raise ValueError(
+                f"got {arr.shape[0]} senses for {num_rows} block rows"
+            )
+        return arr
+
     @property
     def num_constrs(self) -> int:
-        """Number of registered linear constraints."""
-        return len(self.constraints)
+        """Number of linear constraints (per-row plus block rows)."""
+        return len(self.constraints) + sum(b.num_rows for b in self._blocks)
+
+    @property
+    def blocks(self) -> list[ConstraintBlock]:
+        """Registered constraint blocks, in insertion order."""
+        return self._blocks
 
     # -- objective --------------------------------------------------------
 
@@ -204,10 +464,17 @@ class Model:
         callers must negate the optimum when ``objective_sense == 'max'``
         (the backends do this).
 
+        Row order: per-row :class:`Constraint` objects first (insertion
+        order), then :class:`ConstraintBlock` rows (block insertion
+        order).  Mathematically the order is irrelevant; it is fixed so
+        repeated exports of one model are reproducible.
+
         Args:
             sparse: When True, ``A_ub``/``A_eq`` are assembled directly
                 as ``scipy.sparse.csr_matrix`` from COO triplets — no
                 dense ``(rows, n)`` intermediate is ever allocated.
+                Blocks appended via :meth:`add_linear_rows` flow in by
+                triplet concatenation without any per-row Python walk.
                 Encoded networks have a few non-zeros per row, so this
                 is the fast path for anything beyond toy models; the
                 scipy backend uses it by default.  The dense export
@@ -231,38 +498,86 @@ class Model:
             else:
                 eq_rows.append((con.expr.coeffs, con.rhs))
 
+        # Per-block row offsets into the final ub/eq matrices.  Block
+        # rows keep their relative order; ``rank`` maps a block-local
+        # row to its position among that block's ub (or eq) rows.
+        num_ub, num_eq = len(ub_rows), len(eq_rows)
+        placements = []
+        for blk in self._blocks:
+            ub_rank = np.cumsum(~blk.is_eq) - 1
+            eq_rank = np.cumsum(blk.is_eq) - 1
+            placements.append((blk, num_ub, num_eq, ub_rank, eq_rank))
+            num_ub += int((~blk.is_eq).sum())
+            num_eq += int(blk.is_eq.sum())
+
+        def block_parts(eq_side: bool):
+            """Triplets and rhs scatter for every block, one side."""
+            parts = []
+            for blk, ub_off, eq_off, ub_rank, eq_rank in placements:
+                row_sel = blk.is_eq if eq_side else ~blk.is_eq
+                if not row_sel.any():
+                    continue
+                offset = eq_off if eq_side else ub_off
+                rank = eq_rank if eq_side else ub_rank
+                entry_sel = row_sel[blk.row]
+                parts.append(
+                    (
+                        blk.data[entry_sel],
+                        offset + rank[blk.row[entry_sel]],
+                        blk.col[entry_sel],
+                        offset,
+                        blk.rhs[row_sel],
+                    )
+                )
+            return parts
+
         if sparse:
             import scipy.sparse as sp
 
-            def build(rows):
+            def build(rows, total, eq_side):
                 data: list[float] = []
                 row_idx: list[int] = []
                 col_idx: list[int] = []
-                vec = np.zeros(len(rows))
+                vec = np.zeros(total)
                 for r, (coeffs, rhs) in enumerate(rows):
                     vec[r] = rhs
                     for idx, coef in coeffs.items():
                         row_idx.append(r)
                         col_idx.append(idx)
                         data.append(coef)
+                datas = [np.asarray(data, dtype=float)]
+                rows_i = [np.asarray(row_idx, dtype=np.int64)]
+                cols_i = [np.asarray(col_idx, dtype=np.int64)]
+                for bdata, brow, bcol, offset, brhs in block_parts(eq_side):
+                    datas.append(bdata)
+                    rows_i.append(brow)
+                    cols_i.append(bcol)
+                    vec[offset : offset + brhs.shape[0]] = brhs
                 mat = sp.coo_matrix(
-                    (data, (row_idx, col_idx)), shape=(len(rows), n)
+                    (
+                        np.concatenate(datas),
+                        (np.concatenate(rows_i), np.concatenate(cols_i)),
+                    ),
+                    shape=(total, n),
                 ).tocsr()
                 return mat, vec
 
         else:
 
-            def build(rows):
-                mat = np.zeros((len(rows), n))
-                vec = np.zeros(len(rows))
+            def build(rows, total, eq_side):
+                mat = np.zeros((total, n))
+                vec = np.zeros(total)
                 for r, (coeffs, rhs) in enumerate(rows):
                     for idx, coef in coeffs.items():
                         mat[r, idx] = coef
                     vec[r] = rhs
+                for bdata, brow, bcol, offset, brhs in block_parts(eq_side):
+                    np.add.at(mat, (brow, bcol), bdata)
+                    vec[offset : offset + brhs.shape[0]] = brhs
                 return mat, vec
 
-        a_ub, b_ub = build(ub_rows)
-        a_eq, b_eq = build(eq_rows)
+        a_ub, b_ub = build(ub_rows, num_ub, eq_side=False)
+        a_eq, b_eq = build(eq_rows, num_eq, eq_side=True)
         bounds = [(v.lb, v.ub) for v in self.variables]
         integrality = np.array(
             [0 if v.vtype is VType.CONTINUOUS else 1 for v in self.variables],
@@ -339,6 +654,7 @@ class Model:
         clone.constraints = [
             Constraint(c.expr.copy(), c.sense, c.rhs, c.name) for c in self.constraints
         ]
+        clone._blocks = [b.copy() for b in self._blocks]
         clone.objective = self.objective.copy()
         clone.objective_sense = self.objective_sense
         return clone
@@ -356,7 +672,18 @@ class Model:
                 return False
             if var.vtype is not VType.CONTINUOUS and abs(val - round(val)) > tol:
                 return False
-        return all(con.violation(assignment) <= tol for con in self.constraints)
+        if not all(con.violation(assignment) <= tol for con in self.constraints):
+            return False
+        arr = np.asarray(values, dtype=float)
+        for blk in self._blocks:
+            act = blk.activities(arr)
+            eq = blk.is_eq
+            if eq.any() and np.abs(act[eq] - blk.rhs[eq]).max() > tol:
+                return False
+            le = ~eq
+            if le.any() and (act[le] - blk.rhs[le]).max() > tol:
+                return False
+        return True
 
     def __repr__(self) -> str:
         return (

@@ -69,6 +69,28 @@ class SolveResult:
             return float(total)
         raise TypeError(f"cannot index solution with {var!r}")
 
+    def sound_bound(self) -> float | None:
+        """Sound objective bound of this solve, or ``None`` when unusable.
+
+        "Sound" means on the safe side of the true optimum in the user's
+        sense: an over-estimate for maximization, an under-estimate for
+        minimization.  Preference order:
+
+        1. the dual ``bound`` — valid even for gap/time/node-limited
+           MILPs (the solver proved no solution can beat it);
+        2. the incumbent ``objective``, but only for a *proven-optimal*
+           solve — the best solution found before a time limit is NOT a
+           sound bound on the extremal side and is never returned here.
+
+        Certification code must use this (never a raw time-limited
+        ``objective``) whenever a solve may have hit a resource limit.
+        """
+        if math.isfinite(self.bound):
+            return float(self.bound)
+        if self.is_optimal and math.isfinite(self.objective):
+            return float(self.objective)
+        return None
+
     def require_optimal(self) -> "SolveResult":
         """Return self, raising if the solve did not reach optimality."""
         if not self.is_optimal:

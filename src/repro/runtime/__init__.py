@@ -17,6 +17,7 @@ This package fans those queries across worker processes:
 """
 
 from repro.runtime.batch import (
+    DEFAULT_GLOBAL_TIME_LIMIT,
     BatchCertifier,
     BatchResult,
     CertificationQuery,
@@ -26,6 +27,7 @@ from repro.runtime.batch import (
 )
 
 __all__ = [
+    "DEFAULT_GLOBAL_TIME_LIMIT",
     "BatchCertifier",
     "BatchResult",
     "CertificationQuery",

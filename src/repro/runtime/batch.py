@@ -33,6 +33,12 @@ from repro.nn.affine import AffineLayer
 #: Query kinds understood by :func:`_execute_query`.
 QUERY_KINDS = ("local-exact", "local-nd", "local-lpr", "global", "global-exact")
 
+#: Default per-MILP time limit (seconds) for global queries — matches
+#: ``CertifierConfig.milp_time_limit`` and the CLI.  A timed-out solve
+#: still contributes its sound dual bound, so the safeguard never costs
+#: soundness, only tightness.
+DEFAULT_GLOBAL_TIME_LIMIT = 30.0
+
 #: Progress callback signature: ``(completed_count, total, result)``.
 ProgressFn = Callable[[int, int, "BatchResult"], None]
 
@@ -54,6 +60,10 @@ class CertificationQuery:
         refine_count: Neurons refined per sub-network (``global`` only).
         backend: MILP/LP backend name.
         time_limit: Per-MILP time limit in seconds (global kinds).
+            ``None`` means "use the engine default"
+            (:data:`DEFAULT_GLOBAL_TIME_LIMIT`, 30 s) — it does NOT
+            disable the safeguard.  Pass ``math.inf`` for an explicitly
+            unlimited solve; non-positive values are rejected.
         tag: Caller label echoed on the result (e.g. a sample id).
     """
 
@@ -73,12 +83,34 @@ class CertificationQuery:
             raise ValueError(
                 f"unknown query kind {self.kind!r}; expected one of {QUERY_KINDS}"
             )
+        if self.time_limit is not None and not self.time_limit > 0:
+            # `not > 0` (rather than `<= 0`) also rejects NaN, which
+            # would otherwise reach the solver and silently disable the
+            # MILP safeguard.
+            raise ValueError(
+                "time_limit must be positive seconds (None = engine default, "
+                "math.inf = unlimited)"
+            )
         if self.center is not None:
             self.center = np.asarray(self.center, dtype=float).reshape(-1)
         if self.kind.startswith("local") and self.center is None:
             raise ValueError(f"{self.kind!r} query needs a center sample")
         if self.kind.startswith("global") and self.domain is None:
             raise ValueError(f"{self.kind!r} query needs an input domain")
+
+    def effective_time_limit(self) -> float | None:
+        """The per-MILP limit actually applied to a global query.
+
+        ``None`` on the query resolves to the 30 s engine default (the
+        MILP safeguard must not silently disappear just because the
+        caller didn't pick a number); ``math.inf`` resolves to ``None``
+        for the solver, i.e. genuinely unlimited.
+        """
+        if self.time_limit is None:
+            return DEFAULT_GLOBAL_TIME_LIMIT
+        if math.isinf(self.time_limit):
+            return None
+        return float(self.time_limit)
 
 
 @dataclass
@@ -133,11 +165,13 @@ def _execute_query(query: CertificationQuery):
             domain=query.domain, backend=query.backend,
         )
     if query.kind == "global":
+        # The CLI's algorithm-1 knobs (window, refine, backend, limit)
+        # plumb through 1:1; time_limit=None keeps the 30 s safeguard.
         config = CertifierConfig(
             window=query.window,
             refine_count=query.refine_count,
             backend=query.backend,
-            milp_time_limit=query.time_limit,
+            milp_time_limit=query.effective_time_limit(),
         )
         return GlobalRobustnessCertifier(query.layers, config).certify(
             query.domain, query.delta
@@ -145,7 +179,7 @@ def _execute_query(query: CertificationQuery):
     # "global-exact" — validated in CertificationQuery.__post_init__.
     return certify_exact_global(
         query.layers, query.domain, query.delta,
-        backend=query.backend, time_limit=query.time_limit,
+        backend=query.backend, time_limit=query.effective_time_limit(),
     )
 
 
@@ -305,11 +339,15 @@ def global_query(
     window: int = 2,
     refine_count: int = 0,
     backend: str = "scipy",
-    time_limit: float | None = 30.0,
+    time_limit: float | None = None,
     exact: bool = False,
     tag: str = "global",
 ) -> CertificationQuery:
-    """One global certification query (Algorithm 1, or the exact MILP)."""
+    """One global certification query (Algorithm 1, or the exact MILP).
+
+    ``time_limit=None`` (the default) applies the engine's 30 s per-MILP
+    safeguard; pass ``math.inf`` to disable it explicitly.
+    """
     return CertificationQuery(
         kind="global-exact" if exact else "global",
         layers=_normal_form(network),

@@ -75,6 +75,33 @@ class TestCli:
         out = capsys.readouterr().out
         assert "sample[1]" in out and "sample[2]" not in out
 
+    def test_time_limit_zero_rejected(self, model_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["certify", model_path, "--delta", "0.01",
+                  "--time-limit", "0"])
+        err = capsys.readouterr().err
+        assert "must be > 0" in err
+
+    def test_time_limit_negative_rejected(self, model_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["certify", model_path, "--delta", "0.01",
+                  "--time-limit", "-3"])
+        assert "must be > 0" in capsys.readouterr().err
+
+    def test_small_time_limit_honored_not_dropped(self, model_path, capsys):
+        # Regression: `args.time_limit or 30.0` used to turn small
+        # limits falsy-adjacent semantics; an explicit 0.5 must reach
+        # the certifier and the run must still succeed (sound bounds).
+        code = main(["certify", model_path, "--delta", "0.01",
+                     "--refine", "2", "--time-limit", "0.5"])
+        assert code == 0
+        assert "itne-nd-lpr" in capsys.readouterr().out
+
+    def test_time_limit_inf_allowed(self, model_path, capsys):
+        assert main(["certify", model_path, "--delta", "0.01",
+                     "--method", "exact", "--time-limit", "inf"]) == 0
+        assert "exact" in capsys.readouterr().out
+
     def test_exact_dominates_cli_roundtrip(self, model_path, capsys):
         """Certify twice via CLI and parse: ours >= exact."""
         main(["certify", model_path, "--delta", "0.01", "--method", "exact"])
