@@ -23,9 +23,10 @@ def setup():
     return entry, box, exact
 
 
-def test_ablation_window(setup, report, benchmark):
+def test_ablation_window(setup, report, json_report, benchmark):
     entry, box, exact = setup
     rows = []
+    records = []
     eps_by_window = []
     certify_calls = {}
     for window in (1, 2, 3):
@@ -35,6 +36,10 @@ def test_ablation_window(setup, report, benchmark):
         ).certify(box, entry.delta)
         cert = certify_calls[window]()
         eps_by_window.append(cert.epsilon)
+        records.append(
+            {"window": window, "epsilon": cert.epsilon,
+             "solve_time_s": cert.solve_time}
+        )
         rows.append(
             [
                 window,
@@ -43,6 +48,10 @@ def test_ablation_window(setup, report, benchmark):
                 f"{cert.solve_time:.2f}s",
             ]
         )
+    json_report(
+        "ablation_window_refine",
+        {"eps_exact": exact.epsilon, "window": records},
+    )
     report(
         format_table(
             ["window W", "ε̄", "vs exact", "time"],
@@ -56,14 +65,20 @@ def test_ablation_window(setup, report, benchmark):
     benchmark(certify_calls[1])
 
 
-def test_ablation_refinement(setup, report, benchmark):
+def test_ablation_refinement(setup, report, json_report, benchmark):
     entry, box, exact = setup
     rows = []
+    records = []
     eps_by_refine = []
     for refine in (0, 2, 6, 12):
         cfg = CertifierConfig(window=2, refine_count=refine)
         cert = GlobalRobustnessCertifier(entry.network, cfg).certify(box, entry.delta)
         eps_by_refine.append(cert.epsilon)
+        records.append(
+            {"refine_count": refine, "epsilon": cert.epsilon,
+             "solve_time_s": cert.solve_time,
+             "solves": cert.milp_count or cert.lp_count}
+        )
         rows.append(
             [
                 refine,
@@ -73,6 +88,7 @@ def test_ablation_refinement(setup, report, benchmark):
                 cert.milp_count or cert.lp_count,
             ]
         )
+    json_report("ablation_window_refine", {"refinement": records})
     report(
         format_table(
             ["refined r", "ε̄", "vs exact", "time", "solves"],
@@ -93,19 +109,25 @@ def test_ablation_refinement(setup, report, benchmark):
     )
 
 
-def test_ablation_coupling(setup, report, benchmark):
+def test_ablation_coupling(setup, report, json_report, benchmark):
     """The second-copy coupling constraints (an ITNE-enabled tightening)."""
     entry, box, exact = setup
     rows = []
     eps = {}
+    records = []
     for coupled in (True, False):
         cfg = CertifierConfig(window=2, refine_count=0, couple_second_copy=coupled)
         cert = GlobalRobustnessCertifier(entry.network, cfg).certify(box, entry.delta)
         eps[coupled] = cert.epsilon
+        records.append(
+            {"coupled": coupled, "epsilon": cert.epsilon,
+             "solve_time_s": cert.solve_time}
+        )
         rows.append(
             ["on" if coupled else "off", f"{cert.epsilon:.5f}",
              f"{cert.epsilon / exact.epsilon:.2f}x", f"{cert.solve_time:.2f}s"]
         )
+    json_report("ablation_window_refine", {"coupling": records})
     report(
         format_table(
             ["second-copy triangle", "ε̄", "vs exact", "time"],

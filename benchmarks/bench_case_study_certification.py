@@ -32,13 +32,25 @@ def perception():
     return default_case_study_model(seed=0)
 
 
-def test_case_study_certification(perception, report, benchmark):
+def test_case_study_certification(perception, report, json_report, benchmark):
     verdict = verify_acc_safety(
         perception,
         delta=2 / 255,
         certifier_config=CertifierConfig(window=2, refine_count=0),
     )
 
+    json_report(
+        "case_study_certification",
+        {
+            "delta": 2 / 255,
+            "model_inaccuracy": verdict.model_inaccuracy,
+            "certified_variation": verdict.certified_variation,
+            "total_error": verdict.total_error,
+            "tolerated_error": verdict.tolerated_error,
+            "safe": verdict.safe,
+            "certification_time_s": verdict.certification_time,
+        },
+    )
     rows = [
         ["model inaccuracy Δd1", f"{verdict.model_inaccuracy:.4f}", "0.0730"],
         ["certified variation Δd2 (ε̄)", f"{verdict.certified_variation:.4f}", "0.0568"],

@@ -29,7 +29,7 @@ def simulator():
     return ClosedLoopSimulator(default_case_study_model(seed=0))
 
 
-def test_case_study_simulation(simulator, report, benchmark):
+def test_case_study_simulation(simulator, report, json_report, benchmark):
     tolerance = max_safe_estimation_error(AccDynamics(), FeedbackController())
     episodes = 20 if full_mode() else 8
     steps = 300 if full_mode() else 120
@@ -59,6 +59,23 @@ def test_case_study_simulation(simulator, report, benchmark):
             ]
         )
 
+    json_report(
+        "case_study_simulation",
+        {
+            "episodes": episodes,
+            "steps": steps,
+            "tolerance": tolerance,
+            "sweep": [
+                {
+                    "delta": d,
+                    "max_estimation_error": stats_by_delta[d]["max_estimation_error"],
+                    "exceed_fraction": stats_by_delta[d]["exceed_fraction"],
+                    "unsafe_fraction": stats_by_delta[d]["unsafe_fraction"],
+                }
+                for d in deltas
+            ],
+        },
+    )
     report(
         format_table(
             ["δ (attack)", "max |Δd|", "episodes exceeding ē", "unsafe episodes",

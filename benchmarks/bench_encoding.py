@@ -26,6 +26,7 @@ import time
 
 import numpy as np
 
+from benchmarks.conftest import write_bench_json
 from repro.bounds import Box
 from repro.encoding import encode_btne, encode_itne, encode_single_network
 from repro.nn.affine import AffineLayer
@@ -80,9 +81,9 @@ def bench_encoders(layers, box, delta, repeats=3):
     """Time vectorized vs reference construction for all three encoders.
 
     Returns:
-        ``(rows, speedups, all_identical)`` — display table rows, the
-        raw per-encoder speedup ratios, and the overall matrix-equality
-        verdict.
+        ``(rows, speedups, all_identical, stats)`` — display table rows,
+        the raw per-encoder speedup ratios, the overall matrix-equality
+        verdict, and the machine-readable per-encoder stats.
     """
     builders = {
         "single": lambda vec: encode_single_network(layers, box, vectorized=vec),
@@ -91,6 +92,7 @@ def bench_encoders(layers, box, delta, repeats=3):
     }
     rows = []
     speedups = {}
+    stats = {}
     all_identical = True
     for name, build in builders.items():
         t_vec, enc_vec = _time_build(lambda: build(True), repeats)
@@ -98,6 +100,14 @@ def bench_encoders(layers, box, delta, repeats=3):
         same = matrices_identical(enc_vec.model, enc_ref.model)
         all_identical &= same
         speedups[name] = t_ref / t_vec
+        stats[name] = {
+            "vars": enc_vec.model.num_vars,
+            "constraints": enc_vec.model.num_constrs,
+            "per_neuron_ms": t_ref * 1e3,
+            "block_ms": t_vec * 1e3,
+            "speedup": speedups[name],
+            "identical": same,
+        }
         rows.append(
             [
                 name,
@@ -109,10 +119,10 @@ def bench_encoders(layers, box, delta, repeats=3):
                 "yes" if same else "NO",
             ]
         )
-    return rows, speedups, all_identical
+    return rows, speedups, all_identical, stats
 
 
-def run(smoke: bool, emit=print) -> tuple[float, bool]:
+def run(smoke: bool, emit=print, write_json=write_bench_json) -> tuple[float, bool]:
     """Execute the bench; returns (itne_speedup, matrices_identical)."""
     if smoke:
         layers = tiny_chain(np.random.default_rng(0))
@@ -128,7 +138,9 @@ def run(smoke: bool, emit=print) -> tuple[float, bool]:
         label = f"Table-1 DNN-6 ({entry.description})"
         repeats = 3
     box = Box.uniform(layers[0].in_dim, 0.0, 1.0)
-    rows, speedups, identical = bench_encoders(layers, box, delta, repeats=repeats)
+    rows, speedups, identical, stats = bench_encoders(
+        layers, box, delta, repeats=repeats
+    )
     emit(
         format_table(
             ["encoder", "vars", "rows", "per-neuron ms", "block ms",
@@ -137,12 +149,18 @@ def run(smoke: bool, emit=print) -> tuple[float, bool]:
             title=f"encoding construction: {label}",
         )
     )
+    if write_json is not None:
+        write_json(
+            "encoding",
+            {"label": label, "smoke": smoke, "repeats": repeats,
+             "all_identical": identical, "encoders": stats},
+        )
     return speedups["itne"], identical
 
 
-def test_bench_encoding(report):
+def test_bench_encoding(report, json_report):
     """Benchmark-suite entry: MNIST-scale net, asserts the PR targets."""
-    speedup, identical = run(smoke=False, emit=report)
+    speedup, identical = run(smoke=False, emit=report, write_json=json_report)
     assert identical, "vectorized and per-neuron paths diverged"
     assert speedup >= 3.0, f"ITNE construction speedup {speedup}x < 3x floor"
 

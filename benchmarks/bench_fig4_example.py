@@ -36,7 +36,7 @@ def _rng(lo, hi):
     return f"[{lo:.4g}, {hi:.4g}]"
 
 
-def test_fig4_local(example, report, benchmark):
+def test_fig4_local(example, report, json_report, benchmark):
     layers, box, delta = example
     x0 = np.zeros(2)
 
@@ -44,6 +44,19 @@ def test_fig4_local(example, report, benchmark):
     nd = certify_local_nd(layers, x0, delta, window=1, domain=box)
     lpr = benchmark(lambda: certify_local_lpr(layers, x0, delta, domain=box))
 
+    json_report(
+        "fig4_example",
+        {
+            "local": {
+                cert.method: {
+                    "output_lo": float(cert.output_lo[0]),
+                    "output_hi": float(cert.output_hi[0]),
+                    "solve_time_s": cert.solve_time,
+                }
+                for cert in (exact, nd, lpr)
+            }
+        },
+    )
     rows = [
         ["Exact (MILP)", _rng(exact.output_lo[0], exact.output_hi[0]), "[0, 0.125]"],
         ["ND", _rng(nd.output_lo[0], nd.output_hi[0]), "[0, 0.15]"],
@@ -60,7 +73,7 @@ def test_fig4_local(example, report, benchmark):
     assert exact.output_hi[0] == pytest.approx(0.125, abs=1e-6)
 
 
-def test_fig4_global(example, report, benchmark):
+def test_fig4_global(example, report, json_report, benchmark):
     layers, box, delta = example
 
     exact = certify_exact_global(layers, box, delta)
@@ -74,6 +87,19 @@ def test_fig4_global(example, report, benchmark):
     )
     btne_nd = certify_global_btne_nd(layers, box, delta, window=1)
     btne_lpr = certify_global_btne_lpr(layers, box, delta)
+
+    json_report(
+        "fig4_example",
+        {
+            "global": {
+                cert.method: {
+                    "epsilon": cert.epsilon,
+                    "solve_time_s": cert.solve_time,
+                }
+                for cert in (exact, itne_nd, itne_lpr, btne_nd, btne_lpr)
+            }
+        },
+    )
 
     def ratio(eps):
         return f"{eps / exact.epsilon:.2f}x"

@@ -46,7 +46,7 @@ def make_trained(hidden: int, seed: int = 0) -> Network:
     return net
 
 
-def test_scalability(report, benchmark):
+def test_scalability(report, json_report, benchmark):
     sizes = (8, 12, 16, 24) if not full_mode() else (8, 12, 16, 24, 32, 48)
     exact_cutoff = 16 if not full_mode() else 32
     reluplex_cutoff = 8 if not full_mode() else 12
@@ -89,6 +89,7 @@ def test_scalability(report, benchmark):
 
     rows = []
     ours_times = []
+    records = []
     for hidden, result in zip(sizes, batch):
         assert result.ok, result.error
         ours_times.append((hidden, result.elapsed))
@@ -97,7 +98,16 @@ def test_scalability(report, benchmark):
         rows.append(
             [hidden, fmt(t_reluplex), fmt(t_exact), f"{result.elapsed:.2f}s"]
         )
+        records.append(
+            {
+                "hidden_neurons": hidden,
+                "t_reluplex_s": t_reluplex,
+                "t_exact_s": t_exact,
+                "t_ours_s": result.elapsed,
+            }
+        )
 
+    json_report("scalability", {"delta": delta, "rows": records})
     report(
         format_table(
             ["hidden neurons", "t_R (Reluplex-style)", "t_M (exact MILP)",

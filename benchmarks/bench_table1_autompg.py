@@ -41,12 +41,13 @@ def certify_ours(entry):
     return GlobalRobustnessCertifier(entry.network, cfg).certify(box, entry.delta)
 
 
-def test_table1_autompg(report, benchmark):
+def test_table1_autompg(report, json_report, benchmark):
     ids = OUR_IDS + (FULL_EXTRA_OURS if full_mode() else ())
     reluplex_ids = RELUPLEX_IDS | (FULL_EXTRA_RELUPLEX if full_mode() else set())
     exact_ids = EXACT_IDS | (FULL_EXTRA_EXACT if full_mode() else set())
 
     rows = []
+    records = []
     ours_first = None
     for dnn_id in ids:
         entry = get_network(dnn_id)
@@ -93,10 +94,24 @@ def test_table1_autompg(report, benchmark):
                 f"{ours.epsilon / eps_exact:.2f}x" if eps_exact else "-",
             ]
         )
+        records.append(
+            {
+                "dnn": dnn_id,
+                "hidden_neurons": entry.hidden_neurons,
+                "delta": entry.delta,
+                "t_reluplex_s": None if t_r in (None, float("inf")) else t_r,
+                "reluplex_over_budget": t_r == float("inf"),
+                "t_exact_s": t_m,
+                "t_ours_s": ours.solve_time,
+                "eps_exact": eps_exact,
+                "eps_ours": ours.epsilon,
+            }
+        )
         if eps_exact is not None:
             # Soundness on every row where the exact value is available.
             assert ours.epsilon >= eps_exact - 1e-7
 
+    json_report("table1_autompg", {"rows": records})
     report(
         format_table(
             ["DNN", "neurons", "t_R", "t_M", "t_our", "ε exact", "ε̄ ours", "ratio"],

@@ -26,10 +26,11 @@ from repro.zoo import get_network
 REPORTED_OUTPUTS = (0, 1)  # the paper reports 2 of the 10 logits
 
 
-def test_table1_mnist(report, benchmark):
+def test_table1_mnist(report, json_report, benchmark):
     ids = (6, 7, 8) if full_mode() else (6,)
     image_size = 14 if full_mode() else 10
     rows = []
+    records = []
     bench_target = {}
 
     entries = {dnn_id: get_network(dnn_id, image_size=image_size) for dnn_id in ids}
@@ -87,9 +88,21 @@ def test_table1_mnist(report, benchmark):
                     f"{ratio:.2f}x",
                 ]
             )
+            records.append(
+                {
+                    "dnn": dnn_id,
+                    "hidden_neurons": entry.hidden_neurons,
+                    "image_size": image_size,
+                    "output": out,
+                    "t_ours_s": cert.solve_time,
+                    "eps_under": float(under.epsilons[out]),
+                    "eps_over": float(cert.epsilons[out]),
+                }
+            )
             # The sandwich must hold: ε̲ <= ε <= ε̄.
             assert cert.epsilons[out] >= under.epsilons[out] - 1e-9
 
+    json_report("table1_mnist", {"rows": records})
     config_note = (
         "W=3, 30 refined (paper config)" if full_mode() else "W=2, pure LP (fast default)"
     )

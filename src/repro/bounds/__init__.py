@@ -1,20 +1,41 @@
-"""Interval analysis: boxes, single-net IBP, and twin-net IBP.
+"""Interval analysis: boxes, bound propagators, and range tables.
 
-Interval bound propagation serves two roles in the pipeline:
+Bound propagation serves two roles in the pipeline:
 
 1. It seeds the big-M constants of every MILP encoding (a valid ``[l, u]``
    range per pre-activation is required for the exact ReLU encoding).
 2. It provides the fallback/starting ranges that Algorithm 1's LP-based
    refinement tightens layer by layer.
 
-The twin variant propagates value intervals and *distance* intervals
-(``Δy``, ``Δx``) side by side, using the exact ReLU-distance facts
-``0 ∧ Δy ≤ Δx ≤ 0 ∨ Δy`` from Fig. 3 of the paper.
+All engines sit behind one :class:`~repro.bounds.propagator.BoundPropagator`
+protocol (``propagate(layers, input_box, delta=None) -> LayerBounds``):
+
+* ``"ibp"`` — plain interval bound propagation; with a ``delta`` the twin
+  variant tracks value and *distance* intervals (``Δy``, ``Δx``) side by
+  side, using the exact ReLU-distance facts ``0 ∧ Δy ≤ Δx ≤ 0 ∨ Δy``
+  from Fig. 3 of the paper;
+* ``"twin-ibp"`` — the same twin engine with the perturbation mandatory;
+* ``"symbolic"`` — CROWN/DeepPoly-style backward substitution of linear
+  relaxations (:mod:`repro.bounds.symbolic`), never looser than IBP and
+  usually much tighter; it also propagates distance bounds symbolically.
+
+The low-level :func:`propagate_box` / :func:`propagate_twin_box`
+functions remain as the IBP engine's implementation.
 """
 
 from repro.bounds.interval import Box
 from repro.bounds.ibp import propagate_box
 from repro.bounds.twin_ibp import TwinBounds, propagate_twin_box, relu_distance_interval
+from repro.bounds.propagator import (
+    BoundPropagator,
+    IBPPropagator,
+    LayerBounds,
+    TwinIBPPropagator,
+    available_propagators,
+    get_propagator,
+    register_propagator,
+)
+from repro.bounds.symbolic import SymbolicPropagator
 from repro.bounds.ranges import LayerRanges, RangeTable
 
 __all__ = [
@@ -25,4 +46,12 @@ __all__ = [
     "TwinBounds",
     "LayerRanges",
     "RangeTable",
+    "BoundPropagator",
+    "LayerBounds",
+    "IBPPropagator",
+    "TwinIBPPropagator",
+    "SymbolicPropagator",
+    "available_propagators",
+    "get_propagator",
+    "register_propagator",
 ]

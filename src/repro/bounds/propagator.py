@@ -1,0 +1,300 @@
+"""The unified bound-propagation API: one protocol, many engines.
+
+Every MILP in the pipeline is only as tight as the interval bounds that
+seed it — big-M constants, Algorithm 1's initial range tables and the
+Eq. 4 / Eq. 6 relaxation gaps all start from per-layer boxes.  This
+module defines the single entry point through which those boxes are
+produced:
+
+* :class:`LayerBounds` — the per-layer pre/post-activation boxes of one
+  propagation, with optional twin *distance* boxes (``Δy``/``Δx``) when
+  a perturbation was supplied;
+* :class:`BoundPropagator` — the protocol ``propagate(layers, input_box,
+  delta=None) -> LayerBounds`` every engine implements;
+* a registry (:func:`register_propagator` / :func:`get_propagator`) with
+  the built-in engines ``"ibp"``, ``"twin-ibp"`` and ``"symbolic"``
+  (the latter registered by :mod:`repro.bounds.symbolic`).
+
+Implementations must return *sound* enclosures: every reachable
+pre/post-activation (and, for twin runs, every reachable distance) lies
+inside the reported boxes.  Engines other than plain IBP additionally
+guarantee containment in the IBP boxes (tightest-wins), so swapping the
+propagator can only shrink downstream relaxations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.bounds.interval import Box
+from repro.bounds.ibp import propagate_box
+from repro.bounds.twin_ibp import propagate_twin_box
+from repro.nn.affine import AffineLayer
+
+
+def _copy_box(box: Box) -> Box:
+    return Box(box.lo.copy(), box.hi.copy())
+
+
+@dataclass
+class LayerBounds:
+    """Per-layer interval records of one bound propagation.
+
+    Layer indices follow the encoders: entry ``i`` bounds layer ``i+1``
+    of the paper's 1-based chain.  Distance attributes are ``None`` for
+    value-only runs (no perturbation supplied).
+
+    Attributes:
+        input_box: Box over the flattened input ``x(0)``.
+        y: Pre-activation value box per layer.
+        x: Post-activation value box per layer.
+        delta_box: Input perturbation box ``Δx(0)`` (twin runs only).
+        dy: Pre-activation distance box per layer (twin runs only).
+        dx: Post-activation distance box per layer (twin runs only).
+        method: Name of the propagator that produced these bounds.
+    """
+
+    input_box: Box
+    y: list[Box]
+    x: list[Box]
+    delta_box: Box | None = None
+    dy: list[Box] | None = None
+    dx: list[Box] | None = None
+    method: str = ""
+
+    @property
+    def num_layers(self) -> int:
+        """Number of network layers covered."""
+        return len(self.y)
+
+    @property
+    def has_distance(self) -> bool:
+        """Whether twin distance bounds were propagated."""
+        return self.dy is not None
+
+    @property
+    def output(self) -> Box:
+        """Post-activation box of the final layer (the network output)."""
+        return self.x[-1]
+
+    @property
+    def output_distance(self) -> Box:
+        """Distance box of the network output ``Δx(n)``."""
+        if self.dx is None:
+            raise ValueError(
+                "no distance bounds: propagate with a delta to get Δ boxes"
+            )
+        return self.dx[-1]
+
+    def intersect(self, other: "LayerBounds") -> "LayerBounds":
+        """Tightest-wins element-wise intersection of two propagations.
+
+        Both operands must be sound for the same network and input box,
+        so the intersection is sound and no looser than either.  When
+        only one operand carries distance bounds, its distance boxes are
+        kept as-is (there is nothing to intersect them with).
+        """
+        if other.num_layers != self.num_layers:
+            raise ValueError("layer count mismatch")
+        if self.has_distance and other.has_distance:
+            delta_box = self.delta_box.intersect(other.delta_box)
+            dy = [a.intersect(b) for a, b in zip(self.dy, other.dy)]
+            dx = [a.intersect(b) for a, b in zip(self.dx, other.dx)]
+        else:
+            twin = self if self.has_distance else other
+            delta_box, dy, dx = twin.delta_box, twin.dy, twin.dx
+        return LayerBounds(
+            input_box=self.input_box.intersect(other.input_box),
+            y=[a.intersect(b) for a, b in zip(self.y, other.y)],
+            x=[a.intersect(b) for a, b in zip(self.x, other.x)],
+            delta_box=delta_box,
+            dy=dy,
+            dx=dx,
+            method=f"{self.method}&{other.method}",
+        )
+
+    def stable_mask(self, i: int) -> np.ndarray:
+        """Boolean mask of layer ``i``'s neurons stable under these bounds.
+
+        A neuron is *stable* when its pre-activation box does not
+        straddle zero — a stable ReLU encodes without a binary variable.
+        """
+        y_box = self.y[i]
+        return (y_box.lo >= 0.0) | (y_box.hi <= 0.0)
+
+    def stable_split(self, layers: list[AffineLayer]) -> tuple[int, int]:
+        """``(stable, total)`` ReLU-neuron counts under these bounds."""
+        stable = total = 0
+        for i, layer in enumerate(layers):
+            if not layer.relu:
+                continue
+            total += self.y[i].dim
+            stable += int(np.sum(self.stable_mask(i)))
+        return stable, total
+
+    def stable_fraction(self, layers: list[AffineLayer]) -> float:
+        """Fraction of ReLU neurons stable under these bounds (1.0 if none)."""
+        stable, total = self.stable_split(layers)
+        return stable / total if total else 1.0
+
+    def mean_pre_activation_width(self) -> float:
+        """Mean width of all pre-activation intervals (the tightness metric)."""
+        return float(np.mean(np.concatenate([b.width() for b in self.y])))
+
+    def output_variation_bounds(self) -> np.ndarray:
+        """Per-output ``ε̄ = max(|Δx̲(n)|, |Δx̅(n)|)`` from the distance box.
+
+        The variation bound these intervals alone certify (mirrors
+        :meth:`repro.bounds.ranges.RangeTable.output_variation_bounds`).
+        """
+        dist = self.output_distance
+        return np.maximum(np.abs(dist.lo), np.abs(dist.hi))
+
+    def to_range_table(self):
+        """Convert to the mutable :class:`~repro.bounds.ranges.RangeTable`.
+
+        Requires distance bounds (the table tracks ``Δy``/``Δx``).
+        """
+        from repro.bounds.ranges import LayerRanges, RangeTable
+
+        if not self.has_distance:
+            raise ValueError(
+                "RangeTable needs distance bounds: propagate with a delta"
+            )
+        table = RangeTable(self.input_box, self.delta_box)
+        for i in range(self.num_layers):
+            table.layers.append(
+                LayerRanges(
+                    y=_copy_box(self.y[i]),
+                    dy=_copy_box(self.dy[i]),
+                    x=_copy_box(self.x[i]),
+                    dx=_copy_box(self.dx[i]),
+                )
+            )
+        return table
+
+
+@runtime_checkable
+class BoundPropagator(Protocol):
+    """Protocol of a bound-propagation engine.
+
+    Attributes:
+        name: Registry key (also recorded on produced bounds).
+    """
+
+    name: str
+
+    def propagate(
+        self,
+        layers: list[AffineLayer],
+        input_box: Box,
+        delta: float | Box | None = None,
+    ) -> LayerBounds:
+        """Bound every layer of ``layers`` over ``input_box``.
+
+        Args:
+            layers: Normal-form network.
+            input_box: Box over the flattened input.
+            delta: When given (L∞ radius or explicit box), also propagate
+                twin *distance* bounds for ITNE/BTNE seeding.
+
+        Returns:
+            Sound :class:`LayerBounds`.
+        """
+        ...  # pragma: no cover - protocol
+
+
+def _as_delta_box(delta: float | Box, dim: int) -> Box:
+    if isinstance(delta, Box):
+        if delta.dim != dim:
+            raise ValueError("perturbation box dimension mismatch")
+        return delta
+    return Box.uniform(dim, -float(delta), float(delta))
+
+
+class IBPPropagator:
+    """Plain interval bound propagation (the existing IBP / twin-IBP).
+
+    Value boxes come from forward interval arithmetic; with a ``delta``
+    the twin variant of :mod:`repro.bounds.twin_ibp` also tracks the
+    per-layer distance boxes.
+    """
+
+    name = "ibp"
+
+    def propagate(
+        self,
+        layers: list[AffineLayer],
+        input_box: Box,
+        delta: float | Box | None = None,
+    ) -> LayerBounds:
+        if delta is not None:
+            twin = propagate_twin_box(layers, input_box, delta)
+            return LayerBounds(
+                input_box=twin.x[0],
+                y=twin.y,
+                x=twin.x[1:],
+                delta_box=twin.dx[0],
+                dy=twin.dy,
+                dx=twin.dx[1:],
+                method=self.name,
+            )
+        _, y_boxes = propagate_box(layers, input_box, collect=True)
+        x_boxes = [
+            y.relu() if layer.relu else y for layer, y in zip(layers, y_boxes)
+        ]
+        return LayerBounds(
+            input_box=input_box, y=y_boxes, x=x_boxes, method=self.name
+        )
+
+
+class TwinIBPPropagator(IBPPropagator):
+    """Twin-network IBP: like ``"ibp"`` but a perturbation is mandatory."""
+
+    name = "twin-ibp"
+
+    def propagate(
+        self,
+        layers: list[AffineLayer],
+        input_box: Box,
+        delta: float | Box | None = None,
+    ) -> LayerBounds:
+        if delta is None:
+            raise ValueError("twin-ibp requires a perturbation (delta)")
+        bounds = super().propagate(layers, input_box, delta)
+        bounds.method = self.name
+        return bounds
+
+
+_REGISTRY: dict[str, BoundPropagator] = {}
+
+
+def register_propagator(propagator: BoundPropagator) -> BoundPropagator:
+    """Register an engine under ``propagator.name`` (last write wins)."""
+    _REGISTRY[propagator.name] = propagator
+    return propagator
+
+
+def get_propagator(spec: "str | BoundPropagator") -> BoundPropagator:
+    """Resolve a propagator: a registry name or an instance (passed through)."""
+    if not isinstance(spec, str):
+        return spec
+    try:
+        return _REGISTRY[spec]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(
+            f"unknown bound propagator {spec!r}; registered: {known}"
+        ) from None
+
+
+def available_propagators() -> tuple[str, ...]:
+    """Sorted names of all registered engines."""
+    return tuple(sorted(_REGISTRY))
+
+
+register_propagator(IBPPropagator())
+register_propagator(TwinIBPPropagator())

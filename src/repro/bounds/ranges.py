@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bounds.interval import Box
-from repro.bounds.twin_ibp import TwinBounds, propagate_twin_box
+from repro.bounds.propagator import BoundPropagator, get_propagator
 from repro.nn.affine import AffineLayer
 
 
@@ -71,21 +71,26 @@ class RangeTable:
 
     @classmethod
     def from_interval_propagation(
-        cls, layers: list[AffineLayer], input_box: Box, delta: float | Box
+        cls,
+        layers: list[AffineLayer],
+        input_box: Box,
+        delta: float | Box,
+        propagator: str | BoundPropagator = "ibp",
     ) -> "RangeTable":
-        """Initialize every layer from twin-network IBP (sound baseline)."""
-        twin: TwinBounds = propagate_twin_box(layers, input_box, delta)
-        table = cls(twin.x[0], twin.dx[0])
-        for i in range(len(layers)):
-            table.layers.append(
-                LayerRanges(
-                    y=Box(twin.y[i].lo.copy(), twin.y[i].hi.copy()),
-                    dy=Box(twin.dy[i].lo.copy(), twin.dy[i].hi.copy()),
-                    x=Box(twin.x[i + 1].lo.copy(), twin.x[i + 1].hi.copy()),
-                    dx=Box(twin.dx[i + 1].lo.copy(), twin.dx[i + 1].hi.copy()),
-                )
-            )
-        return table
+        """Initialize every layer from a bound propagation (sound baseline).
+
+        Args:
+            layers: Normal-form network.
+            input_box: Input domain.
+            delta: L∞ perturbation radius or explicit distance box.
+            propagator: Bound engine — a registry name (``"ibp"``,
+                ``"symbolic"``, ...) or a
+                :class:`~repro.bounds.propagator.BoundPropagator`
+                instance.  Registered non-IBP engines guarantee
+                tightest-wins containment in the IBP boxes.
+        """
+        bounds = get_propagator(propagator).propagate(layers, input_box, delta)
+        return bounds.to_range_table()
 
     def layer(self, i: int) -> LayerRanges:
         """Ranges of layer ``i`` (1-based; 0 returns the input record)."""

@@ -1,0 +1,227 @@
+"""Symbolic linear bound propagation (CROWN/DeepPoly-style backsubstitution).
+
+Plain IBP concretizes to a box after every layer, so the dependency
+between neurons is lost immediately and the big-M ranges it produces
+grow exponentially loose with depth.  The symbolic propagator instead
+keeps each pre-activation as a pair of *linear* functions of the input,
+
+    A_L x(0) + c_L  ≤  y(i)  ≤  A_U x(0) + c_U,
+
+obtained by substituting backward through the affine chain and replacing
+every intervening ReLU with sound linear lower/upper relaxations (the
+CROWN / DeepPoly family):
+
+* stable neurons substitute exactly (identity or zero);
+* an unstable neuron ``y ∈ [l, u]`` uses the chord ``u(y − l)/(u − l)``
+  as upper relaxation and the adaptive slope (identity when ``u ≥ −l``,
+  zero otherwise) as lower relaxation.
+
+Concretizing the final linear pair over the input box yields bounds that
+are never looser than one affine step of interval arithmetic — and each
+layer's result is additionally intersected with the IBP box, so the
+output is *guaranteed* to be contained in the IBP bounds.
+
+The twin variant does the same in distance space: ``Δy(i)`` is kept
+linear in the input perturbation ``Δx(0)`` (``Δy = W Δx`` has no bias),
+and the nonlinear distance relation ``Δx = relu(y + Δy) − relu(y)`` is
+replaced by the chords of its envelope ``min(0, Δy) ≤ Δx ≤ max(0, Δy)``
+(Fig. 3 of the paper), tightened to exact substitution wherever the
+value bounds prove both copies stably active or stably inactive.  These
+distance bounds seed the ITNE/BTNE encoders and Algorithm 1's range
+table through :meth:`repro.bounds.ranges.RangeTable.from_interval_propagation`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bounds.interval import Box
+from repro.bounds.propagator import (
+    IBPPropagator,
+    LayerBounds,
+    _as_delta_box,
+    register_propagator,
+)
+from repro.bounds.twin_ibp import relu_distance_interval
+from repro.nn.affine import AffineLayer
+
+#: Linear relaxation of one activation layer: element-wise coefficient
+#: arrays ``(d_lo, b_lo, d_hi, b_hi)`` such that
+#: ``d_lo·y + b_lo ≤ act(y) ≤ d_hi·y + b_hi`` over the layer's y-range.
+Relaxation = tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+def _identity_relaxation(dim: int) -> Relaxation:
+    one = np.ones(dim)
+    zero = np.zeros(dim)
+    return one, zero, one.copy(), zero.copy()
+
+
+def _relu_relaxation(y_box: Box) -> Relaxation:
+    """CROWN relaxation of ``relu(y)`` over ``y ∈ [lo, hi]``.
+
+    Stable-active → identity, stable-inactive → zero; unstable neurons
+    get the chord as upper bound and the adaptive identity/zero slope as
+    lower bound (minimizing the relaxation area).
+    """
+    lo, hi = y_box.lo, y_box.hi
+    active = lo >= 0.0
+    inactive = hi <= 0.0
+    denom = np.where(hi - lo > 0.0, hi - lo, 1.0)
+    slope = hi / denom
+    d_hi = np.where(inactive, 0.0, np.where(active, 1.0, slope))
+    b_hi = np.where(inactive | active, 0.0, -slope * lo)
+    d_lo = np.where(inactive, 0.0, np.where(active, 1.0,
+                                            np.where(hi >= -lo, 1.0, 0.0)))
+    b_lo = np.zeros_like(lo)
+    return d_lo, b_lo, d_hi, b_hi
+
+
+def _distance_relaxation(y_box: Box, dy_box: Box) -> Relaxation:
+    """Linear envelope of ``Δx = relu(y + Δy) − relu(y)`` in ``Δy``.
+
+    Uses the Fig. 3 facts ``min(0, Δy) ≤ Δx ≤ max(0, Δy)``: the chord of
+    ``max(0, ·)`` over ``Δy ∈ [l, u]`` bounds above (convex), the chord
+    of ``min(0, ·)`` bounds below (concave).  Neurons whose value boxes
+    prove both copies stably active substitute ``Δx = Δy`` exactly;
+    both-inactive neurons substitute ``Δx = 0``.
+    """
+    lo, hi = dy_box.lo, dy_box.hi
+    yhat = Box(y_box.lo + lo, y_box.hi + hi)
+    both_active = (y_box.lo >= 0.0) & (yhat.lo >= 0.0)
+    both_inactive = (y_box.hi <= 0.0) & (yhat.hi <= 0.0)
+
+    denom = np.where(hi - lo > 0.0, hi - lo, 1.0)
+    up_slope = hi / denom        # chord of max(0, ·): (l, 0) -> (u, u)
+    lo_slope = -lo / denom       # chord of min(0, ·): (l, l) -> (u, 0)
+    d_hi = np.where(hi <= 0.0, 0.0, np.where(lo >= 0.0, 1.0, up_slope))
+    b_hi = np.where((hi <= 0.0) | (lo >= 0.0), 0.0, -up_slope * lo)
+    d_lo = np.where(hi <= 0.0, 1.0, np.where(lo >= 0.0, 0.0, lo_slope))
+    b_lo = np.where((hi <= 0.0) | (lo >= 0.0), 0.0, -lo_slope * hi)
+
+    d_lo = np.where(both_active, 1.0, np.where(both_inactive, 0.0, d_lo))
+    d_hi = np.where(both_active, 1.0, np.where(both_inactive, 0.0, d_hi))
+    b_lo = np.where(both_active | both_inactive, 0.0, b_lo)
+    b_hi = np.where(both_active | both_inactive, 0.0, b_hi)
+    return d_lo, b_lo, d_hi, b_hi
+
+
+def _backsubstitute(
+    layers: list[AffineLayer],
+    t: int,
+    box: Box,
+    relaxations: list[Relaxation],
+    with_bias: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concrete bounds of layer ``t``'s pre-activation by backsubstitution.
+
+    Starting from ``y(t) = W(t) h(t−1) (+ b(t))``, each earlier
+    activation ``h(k) = act(y(k))`` is replaced by its linear relaxation
+    (``relaxations[k]``, sign-split per coefficient) and each ``y(k)``
+    by its affine definition, until the bound is linear in the input;
+    the final pair is concretized over ``box``.  ``with_bias=False``
+    runs the same recursion in distance space (``Δy = W Δx``, biasless).
+
+    Returns:
+        ``(lo, hi)`` arrays for ``y(t)`` (or ``Δy(t)``).
+    """
+    a_lo = layers[t].weight.copy()
+    a_hi = layers[t].weight.copy()
+    if with_bias:
+        c_lo = layers[t].bias.copy()
+        c_hi = layers[t].bias.copy()
+    else:
+        c_lo = np.zeros(layers[t].out_dim)
+        c_hi = np.zeros(layers[t].out_dim)
+
+    for k in range(t - 1, -1, -1):
+        d_lo, b_lo, d_hi, b_hi = relaxations[k]
+        pos, neg = np.maximum(a_lo, 0.0), np.minimum(a_lo, 0.0)
+        c_lo = c_lo + pos @ b_lo + neg @ b_hi
+        a_lo = pos * d_lo + neg * d_hi
+        pos, neg = np.maximum(a_hi, 0.0), np.minimum(a_hi, 0.0)
+        c_hi = c_hi + pos @ b_hi + neg @ b_lo
+        a_hi = pos * d_hi + neg * d_lo
+        if with_bias:
+            c_lo = c_lo + a_lo @ layers[k].bias
+            c_hi = c_hi + a_hi @ layers[k].bias
+        a_lo = a_lo @ layers[k].weight
+        a_hi = a_hi @ layers[k].weight
+
+    pos, neg = np.maximum(a_lo, 0.0), np.minimum(a_lo, 0.0)
+    lo = pos @ box.lo + neg @ box.hi + c_lo
+    pos, neg = np.maximum(a_hi, 0.0), np.minimum(a_hi, 0.0)
+    hi = pos @ box.hi + neg @ box.lo + c_hi
+    return lo, hi
+
+
+class SymbolicPropagator:
+    """Backward-substitution linear bounds (value and twin distance).
+
+    Every layer's symbolic result is intersected with the IBP box before
+    it feeds later relaxations, so the produced :class:`LayerBounds` are
+    always contained in (usually strictly tighter than) plain IBP.
+    """
+
+    name = "symbolic"
+
+    def __init__(self) -> None:
+        self._ibp = IBPPropagator()
+
+    def propagate(
+        self,
+        layers: list[AffineLayer],
+        input_box: Box,
+        delta: float | Box | None = None,
+    ) -> LayerBounds:
+        ibp = self._ibp.propagate(layers, input_box, delta)
+
+        y_boxes: list[Box] = []
+        x_boxes: list[Box] = []
+        value_relax: list[Relaxation] = []
+        for t, layer in enumerate(layers):
+            lo, hi = _backsubstitute(layers, t, input_box, value_relax, with_bias=True)
+            y_box = Box(lo, hi).intersect(ibp.y[t])
+            y_boxes.append(y_box)
+            if layer.relu:
+                x_boxes.append(y_box.relu())
+                value_relax.append(_relu_relaxation(y_box))
+            else:
+                x_boxes.append(Box(y_box.lo.copy(), y_box.hi.copy()))
+                value_relax.append(_identity_relaxation(layer.out_dim))
+
+        if delta is None:
+            return LayerBounds(
+                input_box=input_box, y=y_boxes, x=x_boxes, method=self.name
+            )
+
+        delta_box = _as_delta_box(delta, input_box.dim)
+        dy_boxes: list[Box] = []
+        dx_boxes: list[Box] = []
+        dist_relax: list[Relaxation] = []
+        for t, layer in enumerate(layers):
+            lo, hi = _backsubstitute(
+                layers, t, delta_box, dist_relax, with_bias=False
+            )
+            dy_box = Box(lo, hi).intersect(ibp.dy[t])
+            dy_boxes.append(dy_box)
+            if layer.relu:
+                dx_box = relu_distance_interval(y_boxes[t], dy_box)
+                dist_relax.append(_distance_relaxation(y_boxes[t], dy_box))
+            else:
+                dx_box = Box(dy_box.lo.copy(), dy_box.hi.copy())
+                dist_relax.append(_identity_relaxation(layer.out_dim))
+            dx_boxes.append(dx_box.intersect(ibp.dx[t]))
+
+        return LayerBounds(
+            input_box=input_box,
+            y=y_boxes,
+            x=x_boxes,
+            delta_box=delta_box,
+            dy=dy_boxes,
+            dx=dx_boxes,
+            method=self.name,
+        )
+
+
+register_propagator(SymbolicPropagator())

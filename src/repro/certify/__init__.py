@@ -12,12 +12,15 @@
   ND / LPR), reproducing the local half of Fig. 4.
 * :mod:`repro.certify.underapprox` — dataset-wise PGD under-approximation
   ``ε̲`` used to sandwich the true global robustness for large networks.
+* :mod:`repro.certify.presolve` — the bounds-only presolve tier:
+  ε-targeted queries answered (proved or refuted) without any solve.
 """
 
 from repro.certify.decomposition import SubNetwork, decompose
 from repro.certify.exact import certify_exact_global
 from repro.certify.global_cert import CertifierConfig, GlobalRobustnessCertifier
 from repro.certify.local import certify_local_exact, certify_local_lpr, certify_local_nd
+from repro.certify.presolve import presolve_global, presolve_local
 from repro.certify.refinement import select_refinement
 from repro.certify.reluplex import ReluplexStyleSolver
 from repro.certify.results import GlobalCertificate, LocalCertificate
@@ -31,6 +34,8 @@ __all__ = [
     "certify_local_exact",
     "certify_local_nd",
     "certify_local_lpr",
+    "presolve_local",
+    "presolve_global",
     "pgd_underapproximation",
     "GlobalCertificate",
     "LocalCertificate",

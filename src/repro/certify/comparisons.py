@@ -14,19 +14,15 @@ import time
 
 import numpy as np
 
-from repro.bounds.ibp import propagate_box
 from repro.bounds.interval import Box
+from repro.bounds.propagator import get_propagator
 from repro.certify.decomposition import decompose
 from repro.certify.results import GlobalCertificate
 from repro.encoding.btne import encode_btne
 from repro.encoding.single import encode_single_network
 from repro.milp.expr import as_expr
 from repro.nn.affine import AffineLayer
-from repro.nn.network import Network
-
-
-def _chain(network) -> list[AffineLayer]:
-    return network.to_affine_layers() if isinstance(network, Network) else network
+from repro.nn.network import Network, as_affine_chain
 
 
 def certify_global_btne_nd(
@@ -35,6 +31,7 @@ def certify_global_btne_nd(
     delta: float,
     window: int = 1,
     backend: str = "scipy",
+    bounds: str = "ibp",
 ) -> GlobalCertificate:
     """Global robustness via ND under BTNE (distance info lost).
 
@@ -44,12 +41,12 @@ def certify_global_btne_nd(
     difference of the two copies' *independent* output ranges.
     """
     t0 = time.perf_counter()
-    layers = _chain(network)
+    layers = as_affine_chain(network)
 
     # Per-copy ND ranges (identical for both copies by symmetry).
     x_ranges: list[Box] = [input_box]
-    _, pre_acts = propagate_box(layers, input_box, collect=True)
-    y_ranges = [Box(b.lo.copy(), b.hi.copy()) for b in pre_acts]
+    seed = get_propagator(bounds).propagate(layers, input_box)
+    y_ranges = [Box(b.lo.copy(), b.hi.copy()) for b in seed.y]
     lp_count = 0
     for i in range(1, len(layers) + 1):
         sub = decompose(layers, i, window, output_relu=False)
@@ -99,6 +96,7 @@ def certify_global_btne_lpr(
     input_box: Box,
     delta: float,
     backend: str = "scipy",
+    bounds: str = "ibp",
 ) -> GlobalCertificate:
     """Global robustness via LPR under BTNE.
 
@@ -108,9 +106,9 @@ def certify_global_btne_lpr(
     cannot exploit neuron-level correlation, giving loose bounds.
     """
     t0 = time.perf_counter()
-    layers = _chain(network)
+    layers = as_affine_chain(network)
     relax = [np.ones(l.out_dim, dtype=bool) for l in layers]
-    enc = encode_btne(layers, input_box, delta, relax_mask=relax)
+    enc = encode_btne(layers, input_box, delta, relax_mask=relax, bounds=bounds)
     objectives = []
     for dist in enc.output_distance:
         objectives.extend([(dist, "min"), (dist, "max")])

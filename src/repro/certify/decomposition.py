@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.bounds.interval import Box
-from repro.bounds.ranges import RangeTable
+from repro.bounds.ranges import LayerRanges, RangeTable
 from repro.nn.affine import AffineLayer
 
 
@@ -105,8 +105,6 @@ def subnetwork_ranges(
             sel = slice(neuron, neuron + 1)
         else:
             sel = slice(None)
-        from repro.bounds.ranges import LayerRanges
-
         sub_table.layers.append(
             LayerRanges(
                 y=Box(rec.y.lo[sel].copy(), rec.y.hi[sel].copy()),

@@ -45,6 +45,7 @@ def certify_exact_global(
     backend: str = "scipy",
     time_limit: float | None = None,
     outputs: list[int] | None = None,
+    bounds: str = "ibp",
 ) -> GlobalCertificate:
     """Solve Problem 1 via MILP; sound even when ``time_limit`` bites.
 
@@ -62,6 +63,9 @@ def certify_exact_global(
             (infeasible, solver error) still raise — they indicate a
             broken encoding, not a resource trade-off.
         outputs: Restrict to these output indices (default: all).
+        bounds: Bound propagator seeding big-M ranges and the interval
+            fallback (``"ibp"`` or ``"symbolic"``; tighter bounds mean
+            fewer unstable neurons, hence a smaller search tree).
 
     Returns:
         A :class:`GlobalCertificate`; ``exact=True`` iff every MILP was
@@ -81,7 +85,9 @@ def certify_exact_global(
     # Sound a-priori interval bounds on the output distance: the
     # fallback (and intersection partner) for limited solves.  The same
     # table feeds the ITNE encoder, so twin IBP runs once.
-    table = RangeTable.from_interval_propagation(layers, input_box, delta)
+    table = RangeTable.from_interval_propagation(
+        layers, input_box, delta, propagator=bounds
+    )
     interval = table.layer(len(layers)).dx
 
     if encoding == "itne":
@@ -89,7 +95,10 @@ def certify_exact_global(
         distances = enc.output_distance
         model = enc.model
     else:
-        enc = encode_btne(layers, input_box, delta)
+        # The table's y boxes already are this propagator's single-copy
+        # pre-activation bounds; reuse them instead of re-propagating.
+        pre_acts = [table.layer(i).y for i in range(1, len(layers) + 1)]
+        enc = encode_btne(layers, input_box, delta, pre_act_bounds=pre_acts)
         distances = enc.output_distance
         model = enc.model
 

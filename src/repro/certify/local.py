@@ -1,10 +1,16 @@
-"""Local robustness certification (exact MILP, ND, LPR).
+"""Local robustness certification (exact MILP, ND, LPR, bounds presolve).
 
 Local robustness bounds the output change around a *given* sample:
 ``‖x̂ − x0‖∞ ≤ δ ⇒ |F(x̂)_j − F(x0)_j| ≤ ε_local``.  These routines
 reproduce the local half of the paper's Fig. 4 and serve as reference
 points for the global techniques (a valid global ε must dominate the
 local ε at every sample).
+
+Every certifier takes a ``bounds=`` knob selecting the propagator that
+seeds its big-M ranges (``"ibp"`` default, ``"symbolic"`` for the
+backsubstitution bounds).  :func:`presolve_local` (the bounds-only
+presolve tier, re-exported from :mod:`repro.certify.presolve`) can
+answer an ε-targeted query without building a MILP at all.
 """
 
 from __future__ import annotations
@@ -13,30 +19,33 @@ import time
 
 import numpy as np
 
-from repro.bounds.ibp import propagate_box
 from repro.bounds.interval import Box
+from repro.bounds.propagator import get_propagator
 from repro.certify.decomposition import decompose
+from repro.certify.presolve import (
+    perturbation_ball,
+    presolve_local,
+    variation_from_reference,
+)
 from repro.certify.results import LocalCertificate
 from repro.encoding.single import encode_single_network
 from repro.milp.expr import as_expr
 from repro.nn.affine import AffineLayer, affine_chain_forward
-from repro.nn.network import Network
+from repro.nn.network import Network, as_affine_chain
 
-
-def _chain(network) -> list[AffineLayer]:
-    return network.to_affine_layers() if isinstance(network, Network) else network
-
-
-def _ball(center: np.ndarray, delta: float, domain: Box | None) -> Box:
-    ball = Box.from_center(np.asarray(center, dtype=float).reshape(-1), float(delta))
-    return ball.intersect(domain) if domain is not None else ball
+__all__ = [
+    "certify_local_exact",
+    "certify_local_nd",
+    "certify_local_lpr",
+    "presolve_local",
+]
 
 
 def _certificate(
     layers, center, delta, lo, hi, method, exact, t0
 ) -> LocalCertificate:
     base = affine_chain_forward(layers, np.asarray(center, dtype=float).reshape(-1))
-    eps = np.maximum(np.abs(hi - base), np.abs(base - lo))
+    eps = variation_from_reference(lo, hi, base)
     return LocalCertificate(
         center=np.asarray(center, dtype=float),
         delta=float(delta),
@@ -55,12 +64,13 @@ def certify_local_exact(
     delta: float,
     domain: Box | None = None,
     backend: str = "scipy",
+    bounds: str = "ibp",
 ) -> LocalCertificate:
     """Exact local robustness: full big-M MILP over the δ-ball."""
     t0 = time.perf_counter()
-    layers = _chain(network)
-    ball = _ball(center, delta, domain)
-    enc = encode_single_network(layers, ball)
+    layers = as_affine_chain(network)
+    ball = perturbation_ball(center, delta, domain)
+    enc = encode_single_network(layers, ball, bounds=bounds)
     objectives = []
     for handle in enc.output:
         expr = as_expr(handle)
@@ -81,6 +91,7 @@ def certify_local_nd(
     window: int = 1,
     domain: Box | None = None,
     backend: str = "scipy",
+    bounds: str = "ibp",
 ) -> LocalCertificate:
     """Local robustness via network decomposition (exact sub-MILPs).
 
@@ -90,13 +101,13 @@ def certify_local_nd(
     the paper's ND.
     """
     t0 = time.perf_counter()
-    layers = _chain(network)
-    ball = _ball(center, delta, domain)
+    layers = as_affine_chain(network)
+    ball = perturbation_ball(center, delta, domain)
 
     # x-ranges per layer index (0 = input).
     x_ranges: list[Box] = [ball]
-    _, pre_acts = propagate_box(layers, ball, collect=True)
-    y_ranges: list[Box] = [Box(b.lo.copy(), b.hi.copy()) for b in pre_acts]
+    seed = get_propagator(bounds).propagate(layers, ball)
+    y_ranges: list[Box] = [Box(b.lo.copy(), b.hi.copy()) for b in seed.y]
 
     for i in range(1, len(layers) + 1):
         sub = decompose(layers, i, window, output_relu=False)
@@ -137,13 +148,14 @@ def certify_local_lpr(
     delta: float,
     domain: Box | None = None,
     backend: str = "scipy",
+    bounds: str = "ibp",
 ) -> LocalCertificate:
     """Local robustness via the triangle LP relaxation of every ReLU."""
     t0 = time.perf_counter()
-    layers = _chain(network)
-    ball = _ball(center, delta, domain)
+    layers = as_affine_chain(network)
+    ball = perturbation_ball(center, delta, domain)
     relax_mask = [np.ones(layer.out_dim, dtype=bool) for layer in layers]
-    enc = encode_single_network(layers, ball, relax_mask=relax_mask)
+    enc = encode_single_network(layers, ball, relax_mask=relax_mask, bounds=bounds)
     objectives = []
     for handle in enc.output:
         expr = as_expr(handle)

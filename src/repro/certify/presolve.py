@@ -1,0 +1,228 @@
+"""Bounds-only presolve tier: decide ε-targeted queries without a solve.
+
+Given a target ``ε`` ("is the output variation at most ε?"), a query can
+often be answered from bound propagation alone:
+
+* **prove** — if the (symbolic) interval bound on the output variation
+  is already ≤ ε, the property holds and a certificate with
+  ``method="presolve"`` is returned without building any MILP;
+* **refute** — if a cheap gradient-guided attack (the
+  under-approximation side) exhibits a concrete witness pair with
+  variation > ε, the property is false and a ``method="presolve"``
+  certificate with ``detail["verdict"] == "refuted"`` is returned, its
+  ``epsilons`` being the attack's *lower* bounds;
+* **undecided** — ``None`` is returned and the caller falls through to
+  the MILP tier (whose result is bit-identical to a run without
+  presolve, since presolve never touches the encoding).
+
+The batch engine (:mod:`repro.runtime.batch`) runs this tier first for
+every query carrying an ``epsilon`` target, sharing one
+:class:`~repro.bounds.propagator.LayerBounds` per (network, input-box)
+pair across the batch.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bounds.interval import Box
+from repro.bounds.propagator import LayerBounds, get_propagator
+from repro.certify.results import GlobalCertificate, LocalCertificate
+from repro.nn.affine import AffineLayer, affine_chain_forward
+from repro.nn.network import Network, as_affine_chain
+
+
+def perturbation_ball(
+    center: np.ndarray, delta: float, domain: Box | None
+) -> Box:
+    """The δ-ball around ``center``, clipped to ``domain`` when given."""
+    ball = Box.from_center(np.asarray(center, dtype=float).reshape(-1), float(delta))
+    return ball.intersect(domain) if domain is not None else ball
+
+
+def variation_from_reference(
+    out_lo: np.ndarray, out_hi: np.ndarray, reference: np.ndarray
+) -> np.ndarray:
+    """Per-output bound ``max(|hi − ref|, |ref − lo|)``.
+
+    The one definition of "output variation around a reference point"
+    shared by the presolve tier, the local certifiers and the bounds
+    benchmark — their ε values must stay definitionally identical.
+    """
+    return np.maximum(np.abs(out_hi - reference), np.abs(reference - out_lo))
+
+
+def _output_gradient(layers: list[AffineLayer], x: np.ndarray, j: int) -> np.ndarray:
+    """Gradient of output ``j`` w.r.t. the input at ``x`` (ReLU subgradient)."""
+    pre_acts = []
+    cur = np.asarray(x, dtype=float)
+    for layer in layers:
+        y = layer.pre_activation(cur)
+        pre_acts.append(y)
+        cur = np.maximum(y, 0.0) if layer.relu else y
+    grad = np.zeros(layers[-1].out_dim)
+    grad[j] = 1.0
+    for layer, y in zip(reversed(layers), reversed(pre_acts)):
+        if layer.relu:
+            grad = grad * (y > 0.0)
+        grad = layer.weight.T @ grad
+    return grad
+
+
+def _variation_witness(
+    layers: list[AffineLayer],
+    x: np.ndarray,
+    ball: Box,
+    targets: list[int],
+    reference: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-output variation achieved by gradient-corner attacks from ``x``.
+
+    For each target output the gradient at ``x`` picks the ball corner
+    that maximizes / minimizes the output (exact for a locally-linear
+    region, a strong heuristic otherwise).  Every candidate is a
+    feasible input, so the returned variations are certified *lower*
+    bounds on ``|F(·) − reference|`` (``reference`` defaults to
+    ``F(x)`` — the right baseline for global pairs; local queries pass
+    ``F(x0)`` so every witness is measured against the center).
+    """
+    base = affine_chain_forward(layers, x) if reference is None else reference
+    best = np.zeros(layers[-1].out_dim)
+    for j in targets:
+        grad = _output_gradient(layers, x, j)
+        for direction in (grad, -grad):
+            corner = np.where(direction >= 0.0, ball.hi, ball.lo)
+            value = affine_chain_forward(layers, corner)[j]
+            best[j] = max(best[j], abs(value - base[j]))
+    return best
+
+
+def presolve_local(
+    network: Network | list[AffineLayer],
+    center: np.ndarray,
+    delta: float,
+    epsilon: float,
+    domain: Box | None = None,
+    bounds: str = "symbolic",
+    layer_bounds: LayerBounds | None = None,
+    attack_samples: int = 4,
+    seed: int = 0,
+) -> LocalCertificate | None:
+    """Decide a local ε-robustness query from bounds alone, if possible.
+
+    Args:
+        network: Model or affine chain.
+        center: The sample ``x0``.
+        delta: L∞ perturbation radius.
+        epsilon: Target variation bound to prove or refute.
+        domain: Optional domain box intersected with the δ-ball.
+        bounds: Propagator used for the proving side (default symbolic).
+        layer_bounds: Pre-computed :class:`LayerBounds` over the δ-ball
+            (the batch engine's shared cache); computed here if omitted.
+        attack_samples: Extra random starts for the refuting attack.
+        seed: RNG seed for the random starts.
+
+    Returns:
+        A ``method="presolve"`` :class:`LocalCertificate` with
+        ``detail["verdict"]`` ``"certified"`` or ``"refuted"``, or
+        ``None`` when bounds and attack leave the query undecided.  On
+        ``"refuted"`` the ``epsilons`` are the attack's *lower* bounds.
+    """
+    t0 = time.perf_counter()
+    layers = as_affine_chain(network)
+    center = np.asarray(center, dtype=float).reshape(-1)
+    ball = perturbation_ball(center, delta, domain)
+    if layer_bounds is None:
+        layer_bounds = get_propagator(bounds).propagate(layers, ball)
+    out = layer_bounds.output
+    base = affine_chain_forward(layers, center)
+    eps_ub = variation_from_reference(out.lo, out.hi, base)
+
+    def certificate(epsilons, verdict):
+        return LocalCertificate(
+            center=center,
+            delta=float(delta),
+            epsilons=epsilons,
+            output_lo=out.lo.copy(),
+            output_hi=out.hi.copy(),
+            method="presolve",
+            exact=False,
+            solve_time=time.perf_counter() - t0,
+            detail={
+                "verdict": verdict,
+                "bounds": layer_bounds.method,
+                "epsilon": float(epsilon),
+            },
+        )
+
+    if eps_ub.max() <= epsilon:
+        return certificate(eps_ub, "certified")
+
+    targets = list(range(layers[-1].out_dim))
+    rng = np.random.default_rng(seed)
+    starts = [center] + list(ball.sample(rng, attack_samples))
+    eps_lb = np.zeros(layers[-1].out_dim)
+    for x in starts:
+        eps_lb = np.maximum(
+            eps_lb, _variation_witness(layers, x, ball, targets, reference=base)
+        )
+        if eps_lb.max() > epsilon:
+            return certificate(eps_lb, "refuted")
+    return None
+
+
+def presolve_global(
+    network: Network | list[AffineLayer],
+    domain: Box,
+    delta: float,
+    epsilon: float,
+    bounds: str = "symbolic",
+    layer_bounds: LayerBounds | None = None,
+    attack_samples: int = 8,
+    seed: int = 0,
+) -> GlobalCertificate | None:
+    """Decide a global ε-robustness query from bounds alone, if possible.
+
+    The proving side uses the twin propagation's output-distance box;
+    the refuting side launches gradient-corner attacks in the δ-ball
+    around random domain samples (every witness pair is feasible, so its
+    variation is a certified lower bound on the true global ε).
+
+    Returns:
+        A ``method="presolve"`` :class:`GlobalCertificate` (see
+        :func:`presolve_local` for verdict semantics), or ``None``.
+    """
+    t0 = time.perf_counter()
+    layers = as_affine_chain(network)
+    if layer_bounds is None:
+        layer_bounds = get_propagator(bounds).propagate(layers, domain, delta)
+    eps_ub = layer_bounds.output_variation_bounds()
+
+    def certificate(epsilons, verdict):
+        return GlobalCertificate(
+            delta=float(delta),
+            epsilons=epsilons,
+            method="presolve",
+            exact=False,
+            solve_time=time.perf_counter() - t0,
+            detail={
+                "verdict": verdict,
+                "bounds": layer_bounds.method,
+                "epsilon": float(epsilon),
+            },
+        )
+
+    if eps_ub.max() <= epsilon:
+        return certificate(eps_ub, "certified")
+
+    targets = list(range(layers[-1].out_dim))
+    rng = np.random.default_rng(seed)
+    eps_lb = np.zeros(layers[-1].out_dim)
+    for x in domain.sample(rng, attack_samples):
+        ball = perturbation_ball(x, delta, domain)
+        eps_lb = np.maximum(eps_lb, _variation_witness(layers, x, ball, targets))
+        if eps_lb.max() > epsilon:
+            return certificate(eps_lb, "refuted")
+    return None

@@ -19,6 +19,7 @@ import time
 import numpy as np
 
 from repro.bounds.interval import Box
+from repro.bounds.propagator import get_propagator
 from repro.certify.results import GlobalCertificate
 from repro.encoding.btne import encode_btne
 from repro.milp.expr import LinExpr, Var
@@ -50,14 +51,22 @@ class ReluplexStyleSolver:
         max_nodes: Safety cap on explored nodes (raises when exceeded so
             timing comparisons stay honest).
         tol: ReLU satisfaction tolerance.
+        bounds: Bound propagator seeding the relaxations and the
+            stable/unstable split (``"ibp"`` or ``"symbolic"``; tighter
+            bounds prune the case-splitting tree).
     """
 
     def __init__(
-        self, backend: str = "scipy", max_nodes: int = 2_000_000, tol: float = 1e-6
+        self,
+        backend: str = "scipy",
+        max_nodes: int = 2_000_000,
+        tol: float = 1e-6,
+        bounds: str = "ibp",
     ) -> None:
         self.backend = backend
         self.max_nodes = max_nodes
         self.tol = tol
+        self.bounds = bounds
         self.nodes_explored = 0
 
     # -- public API --------------------------------------------------------
@@ -83,9 +92,13 @@ class ReluplexStyleSolver:
         epsilons = np.zeros(out_dim)
         self.nodes_explored = 0
 
+        # One propagation serves every (output, sense) sub-search: it
+        # seeds both copies' encodings and the stable/unstable split.
+        pre_acts = get_propagator(self.bounds).propagate(layers, input_box).y
+
         for j in targets:
-            hi = self._optimize(layers, input_box, delta, j, sense="max")
-            lo = self._optimize(layers, input_box, delta, j, sense="min")
+            hi = self._optimize(layers, input_box, delta, j, "max", pre_acts)
+            lo = self._optimize(layers, input_box, delta, j, "min", pre_acts)
             epsilons[j] = max(abs(hi), abs(lo))
 
         return GlobalCertificate(
@@ -107,13 +120,16 @@ class ReluplexStyleSolver:
         delta: float,
         output_index: int,
         sense: str,
+        pre_acts: list[Box],
     ) -> float:
         """Exact max/min of one output distance by DFS case splitting."""
         relax = [np.ones(l.out_dim, dtype=bool) for l in layers]
-        enc = encode_btne(layers, input_box, delta, relax_mask=relax)
+        enc = encode_btne(
+            layers, input_box, delta, relax_mask=relax, pre_act_bounds=pre_acts
+        )
         model = enc.model
         objective = enc.output_distance[output_index]
-        relus = self._collect_relus(enc, layers, input_box)
+        relus = self._collect_relus(enc, layers, pre_acts)
 
         sign = 1.0 if sense == "max" else -1.0
         best = -np.inf  # best signed objective found (a true evaluation)
@@ -167,11 +183,8 @@ class ReluplexStyleSolver:
         return worst_idx
 
     @staticmethod
-    def _collect_relus(enc, layers, input_box) -> list[_ReluRecord]:
+    def _collect_relus(enc, layers, pre_acts: list[Box]) -> list[_ReluRecord]:
         """Gather (y, x, bounds) records of both copies' ReLU neurons."""
-        from repro.bounds.ibp import propagate_box
-
-        _, pre_acts = propagate_box(layers, input_box, collect=True)
         records: list[_ReluRecord] = []
         for copy in (enc.first, enc.second):
             for i, layer in enumerate(layers):

@@ -60,9 +60,13 @@ class LocalCertificate:
         epsilons: Per-output bounds on ``|F(x̂)_j − F(x(0))_j|``.
         output_lo / output_hi: Certified output range of the perturbed
             copy (the quantity Fig. 4's local table reports).
-        method: Method tag.
+        method: Method tag (``"presolve"`` for bounds-only answers).
         exact: Whether bounds are exact.
         solve_time: Wall-clock seconds.
+        detail: Free-form extra data; the presolve tier records its
+            ``verdict`` (``"certified"``/``"refuted"``) and bound method
+            here.  On a refuted verdict ``epsilons`` are attack *lower*
+            bounds, not certified upper bounds.
     """
 
     center: np.ndarray
@@ -73,6 +77,7 @@ class LocalCertificate:
     method: str
     exact: bool = False
     solve_time: float = 0.0
+    detail: dict = field(default_factory=dict)
 
     @property
     def epsilon(self) -> float:

@@ -3,12 +3,13 @@
 Usage::
 
     python -m repro info model.npz
+    python -m repro bounds model.npz --delta 0.001
     python -m repro certify model.npz --delta 0.001 --lo 0 --hi 1 \
-        --window 2 --refine 8
+        --window 2 --refine 8 --bounds symbolic
     python -m repro certify model.npz --delta 0.001 --method exact
     python -m repro attack model.npz --delta 0.01 --samples 20
     python -m repro batch model.npz --delta 0.01 --samples 16 \
-        --method exact --workers 4
+        --method exact --workers 4 --epsilon 0.5
 
 Models are ``.npz`` snapshots written by
 :func:`repro.nn.serialize.save_network`.
@@ -21,7 +22,7 @@ import sys
 
 import numpy as np
 
-from repro.bounds import Box
+from repro.bounds import Box, get_propagator
 from repro.certify import (
     CertifierConfig,
     GlobalRobustnessCertifier,
@@ -31,6 +32,9 @@ from repro.certify import (
 )
 from repro.nn import load_network
 from repro.nn.lipschitz import linf_gain_upper_bound
+
+#: Propagator choices exposed on every ``--bounds`` flag.
+_BOUNDS_CHOICES = ("ibp", "symbolic")
 
 
 def _add_domain_args(parser: argparse.ArgumentParser) -> None:
@@ -56,6 +60,19 @@ def _positive_seconds(text: str) -> float:
     return value
 
 
+def _positive_epsilon(text: str) -> float:
+    """Argparse type for ``--epsilon``: a strictly positive float."""
+    try:
+        value = float(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"invalid epsilon: {text!r}") from exc
+    if not value > 0:
+        raise argparse.ArgumentTypeError(
+            f"--epsilon must be a positive variation target, got {text!r}"
+        )
+    return value
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -66,6 +83,19 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_info = sub.add_parser("info", help="describe a saved model")
     p_info.add_argument("model", help="path to a .npz network snapshot")
+
+    p_bounds = sub.add_parser(
+        "bounds",
+        help="per-layer interval widths and stable-neuron percentages "
+        "under IBP vs symbolic propagation",
+    )
+    p_bounds.add_argument("model", help="path to a .npz network snapshot")
+    _add_domain_args(p_bounds)
+    p_bounds.add_argument(
+        "--delta", type=float, default=None,
+        help="optional L-inf perturbation; adds the twin distance-bound "
+        "columns used for ITNE/BTNE seeding",
+    )
 
     p_cert = sub.add_parser("certify", help="certify global robustness")
     p_cert.add_argument("model", help="path to a .npz network snapshot")
@@ -84,6 +114,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="neurons refined per sub-network")
     p_cert.add_argument("--backend", default="scipy",
                         help="scipy | python | python:simplex")
+    p_cert.add_argument("--bounds", choices=_BOUNDS_CHOICES, default="ibp",
+                        help="bound propagator seeding big-M ranges / the "
+                        "initial range table (default: ibp)")
     p_cert.add_argument("--time-limit", type=_positive_seconds, default=None,
                         help="per-MILP time limit in seconds, > 0 "
                         "(default: 30 for algorithm1, unlimited for exact; "
@@ -120,6 +153,16 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="worker processes (default: all cores)")
     p_batch.add_argument("--backend", default="scipy",
                          help="scipy | python | python:simplex")
+    p_batch.add_argument("--bounds", choices=_BOUNDS_CHOICES, default="ibp",
+                         help="bound propagator for the MILP tier "
+                         "(default: ibp)")
+    p_batch.add_argument("--epsilon", type=_positive_epsilon, default=None,
+                         help="target variation bound; enables the "
+                         "bounds-only presolve tier (queries decided by "
+                         "symbolic bounds / the attack gap skip the MILP)")
+    p_batch.add_argument("--no-presolve", action="store_true",
+                         help="force the MILP tier even when --epsilon "
+                         "is given")
     p_batch.add_argument("--seed", type=int, default=0)
     return parser
 
@@ -140,6 +183,59 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_bounds(args) -> int:
+    from repro.utils import format_table
+
+    net = load_network(args.model)
+    layers = net.to_affine_layers()
+    domain = Box.uniform(net.input_dim, args.lo, args.hi)
+    ibp = get_propagator("ibp").propagate(layers, domain, args.delta)
+    sym = get_propagator("symbolic").propagate(layers, domain, args.delta)
+
+    def stable_pct(bounds, i):
+        if not layers[i].relu:
+            return "-"
+        return f"{100.0 * np.mean(bounds.stable_mask(i)):.1f}%"
+
+    headers = ["layer", "neurons", "y-width ibp", "y-width sym",
+               "stable ibp", "stable sym"]
+    if args.delta is not None:
+        headers += ["Δy-width ibp", "Δy-width sym"]
+    rows = []
+    for i, layer in enumerate(layers):
+        row = [
+            f"{i + 1}{' (relu)' if layer.relu else ''}",
+            layer.out_dim,
+            f"{np.mean(ibp.y[i].width()):.4g}",
+            f"{np.mean(sym.y[i].width()):.4g}",
+            stable_pct(ibp, i),
+            stable_pct(sym, i),
+        ]
+        if args.delta is not None:
+            row += [
+                f"{np.mean(ibp.dy[i].width()):.4g}",
+                f"{np.mean(sym.dy[i].width()):.4g}",
+            ]
+        rows.append(row)
+    title = f"bound propagation over [{args.lo:g}, {args.hi:g}]^{net.input_dim}"
+    if args.delta is not None:
+        title += f", δ={args.delta:g}"
+    print(format_table(headers, rows, title=title))
+
+    ratio = sym.mean_pre_activation_width() / max(
+        ibp.mean_pre_activation_width(), 1e-300
+    )
+    print(f"overall stable neurons : ibp {100 * ibp.stable_fraction(layers):.1f}%"
+          f" | symbolic {100 * sym.stable_fraction(layers):.1f}%")
+    print(f"mean y-width tightness : symbolic/ibp = {ratio:.3f}")
+    if args.delta is not None:
+        eps_ibp = float(ibp.output_variation_bounds().max())
+        eps_sym = float(sym.output_variation_bounds().max())
+        print(f"output variation bound : ibp ε̄={eps_ibp:.6g} | "
+              f"symbolic ε̄={eps_sym:.6g}")
+    return 0
+
+
 def _cmd_certify(args) -> int:
     net = load_network(args.model)
     domain = Box.uniform(net.input_dim, args.lo, args.hi)
@@ -151,17 +247,18 @@ def _cmd_certify(args) -> int:
             window=args.window,
             refine_count=args.refine,
             backend=args.backend,
+            bounds=args.bounds,
             milp_time_limit=None if limit == float("inf") else limit,
         )
         cert = GlobalRobustnessCertifier(net, config).certify(domain, args.delta)
     elif args.method == "exact":
         limit = args.time_limit
         cert = certify_exact_global(
-            net, domain, args.delta, backend=args.backend,
+            net, domain, args.delta, backend=args.backend, bounds=args.bounds,
             time_limit=None if limit in (None, float("inf")) else limit,
         )
     else:
-        cert = ReluplexStyleSolver(backend=args.backend).certify(
+        cert = ReluplexStyleSolver(backend=args.backend, bounds=args.bounds).certify(
             net, domain, args.delta
         )
     print(cert.summary())
@@ -201,7 +298,8 @@ def _cmd_batch(args) -> int:
     queries = local_queries(
         net, samples, args.delta,
         method=args.method, domain=domain, backend=args.backend,
-        window=args.window,
+        window=args.window, epsilon=args.epsilon, bounds=args.bounds,
+        presolve=not args.no_presolve,
     )
     engine = BatchCertifier(max_workers=args.workers)
     results = engine.run(
@@ -216,19 +314,31 @@ def _cmd_batch(args) -> int:
     rows = []
     for r in results:
         if r.ok:
-            rows.append([r.tag, f"{r.certificate.epsilon:.6g}", f"{r.elapsed:.2f}s"])
+            verdict = r.certificate.detail.get("verdict", "")
+            method = r.certificate.method + (f" ({verdict})" if verdict else "")
+            rows.append(
+                [r.tag, method, f"{r.certificate.epsilon:.6g}", f"{r.elapsed:.2f}s"]
+            )
         else:
-            rows.append([r.tag, "error", f"{r.elapsed:.2f}s"])
+            rows.append([r.tag, "-", "error", f"{r.elapsed:.2f}s"])
     print(format_table(
-        ["query", "eps", "time"], rows,
+        ["query", "method", "eps", "time"], rows,
         title=f"batch local-{args.method} certification, δ={args.delta:g} "
         f"({len(results)} queries)",
     ))
     failures = [r for r in results if not r.ok]
     ok = [r for r in results if r.ok]
     if ok:
-        worst = max(r.certificate.epsilon for r in ok)
-        print(f"worst eps over {len(ok)} certified samples: {worst:.6g}")
+        presolved = sum(1 for r in ok if r.certificate.method == "presolve")
+        certified = [
+            r for r in ok if r.certificate.detail.get("verdict") != "refuted"
+        ]
+        if certified:
+            worst = max(r.certificate.epsilon for r in certified)
+            print(f"worst eps over {len(certified)} certified samples: {worst:.6g}")
+        if args.epsilon is not None:
+            print(f"presolve tier answered {presolved}/{len(ok)} queries "
+                  "without a MILP")
     for r in failures:
         print(f"\nquery {r.tag} failed:\n{r.error}", file=sys.stderr)
     return 1 if failures else 0
@@ -239,6 +349,7 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "info": _cmd_info,
+        "bounds": _cmd_bounds,
         "certify": _cmd_certify,
         "attack": _cmd_attack,
         "batch": _cmd_batch,

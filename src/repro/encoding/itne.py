@@ -99,6 +99,7 @@ def encode_itne(
     model: Model | None = None,
     prefix: str = "t",
     vectorized: bool = True,
+    bounds: str = "ibp",
 ) -> ItneEncoding:
     """Encode the twin pair under ITNE.
 
@@ -125,6 +126,8 @@ def encode_itne(
         vectorized: Emit per-layer constraint blocks (default); False
             assembles the same formulation per neuron via expression
             dicts (reference path).
+        bounds: Bound propagator seeding the range table when ``ranges``
+            is omitted (``"ibp"`` or ``"symbolic"``).
 
     Returns:
         An :class:`ItneEncoding`.
@@ -137,7 +140,9 @@ def encode_itne(
     else:
         delta_box = Box.uniform(input_box.dim, -float(delta), float(delta))
     if ranges is None:
-        ranges = RangeTable.from_interval_propagation(layers, input_box, delta_box)
+        ranges = RangeTable.from_interval_propagation(
+            layers, input_box, delta_box, propagator=bounds
+        )
 
     input_vars = model.add_vars_array(
         input_box.dim, lb=input_box.lo, ub=input_box.hi, prefix=f"{prefix}.x0"

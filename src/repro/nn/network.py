@@ -144,3 +144,13 @@ class Network:
     def __repr__(self) -> str:
         inner = ", ".join(type(l).__name__ for l in self.layers)
         return f"Network({self.input_shape} -> {self.output_shape}: {inner})"
+
+def as_affine_chain(network: "Network | Sequence[AffineLayer]") -> list[AffineLayer]:
+    """Normal-form chain of a :class:`Network`, or the given chain as a list.
+
+    The shared entry point for every certifier/propagator that accepts
+    "a network or its affine chain".
+    """
+    if isinstance(network, Network):
+        return network.to_affine_layers()
+    return list(network)

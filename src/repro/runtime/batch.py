@@ -28,6 +28,7 @@ _POOL_FAILURES = (OSError, PermissionError, BrokenProcessPool)
 import numpy as np
 
 from repro.bounds.interval import Box
+from repro.bounds.propagator import LayerBounds
 from repro.nn.affine import AffineLayer
 
 #: Query kinds understood by :func:`_execute_query`.
@@ -64,6 +65,21 @@ class CertificationQuery:
             (:data:`DEFAULT_GLOBAL_TIME_LIMIT`, 30 s) — it does NOT
             disable the safeguard.  Pass ``math.inf`` for an explicitly
             unlimited solve; non-positive values are rejected.
+        epsilon: Optional target variation bound.  When set, the
+            presolve tier runs first: if symbolic bounds prove (or the
+            attack gap refutes) ``ε ≤ epsilon``, the query is answered
+            with a ``method="presolve"`` certificate and no MILP is
+            built.  Undecided queries fall through to the usual solver
+            path, whose certificates are bit-identical to a run without
+            presolve.
+        bounds: Bound propagator seeding the MILP tier's big-M ranges
+            (``"ibp"`` default, ``"symbolic"`` for tighter encodings).
+        presolve: Disable the presolve tier (``False``) even when an
+            ``epsilon`` target is present.
+        shared_bounds: Engine-managed cache slot: a pre-computed
+            :class:`~repro.bounds.propagator.LayerBounds` for this
+            query's input box, shared across the batch by
+            :class:`BatchCertifier`.  Callers normally leave it unset.
         tag: Caller label echoed on the result (e.g. a sample id).
     """
 
@@ -76,6 +92,10 @@ class CertificationQuery:
     refine_count: int = 0
     backend: str = "scipy"
     time_limit: float | None = None
+    epsilon: float | None = None
+    bounds: str = "ibp"
+    presolve: bool = True
+    shared_bounds: LayerBounds | None = None
     tag: str = ""
 
     def __post_init__(self) -> None:
@@ -91,12 +111,27 @@ class CertificationQuery:
                 "time_limit must be positive seconds (None = engine default, "
                 "math.inf = unlimited)"
             )
+        if self.epsilon is not None and not self.epsilon > 0:
+            # Same NaN-proof comparison as time_limit.
+            raise ValueError("epsilon must be a positive variation target")
         if self.center is not None:
             self.center = np.asarray(self.center, dtype=float).reshape(-1)
         if self.kind.startswith("local") and self.center is None:
             raise ValueError(f"{self.kind!r} query needs a center sample")
         if self.kind.startswith("global") and self.domain is None:
             raise ValueError(f"{self.kind!r} query needs an input domain")
+
+    def presolve_input_box(self) -> Box:
+        """The input box the presolve tier propagates bounds over."""
+        if self.kind.startswith("local"):
+            from repro.certify.presolve import perturbation_ball
+
+            return perturbation_ball(self.center, self.delta, self.domain)
+        return self.domain
+
+    def wants_presolve(self) -> bool:
+        """Whether the presolve tier applies to this query."""
+        return self.epsilon is not None and self.presolve
 
     def effective_time_limit(self) -> float | None:
         """The per-MILP limit actually applied to a global query.
@@ -138,8 +173,23 @@ class BatchResult:
         return self.error is None
 
 
+def _try_presolve(query: CertificationQuery):
+    """Run the bounds-only tier; a certificate, or None to fall through."""
+    from repro.certify.presolve import presolve_global, presolve_local
+
+    if query.kind.startswith("local"):
+        return presolve_local(
+            query.layers, query.center, query.delta, query.epsilon,
+            domain=query.domain, layer_bounds=query.shared_bounds,
+        )
+    return presolve_global(
+        query.layers, query.domain, query.delta, query.epsilon,
+        layer_bounds=query.shared_bounds,
+    )
+
+
 def _execute_query(query: CertificationQuery):
-    """Dispatch one query to the matching certification routine."""
+    """Dispatch one query: presolve tier first, then the solver tier."""
     from repro.certify import (
         CertifierConfig,
         GlobalRobustnessCertifier,
@@ -149,20 +199,26 @@ def _execute_query(query: CertificationQuery):
         certify_local_nd,
     )
 
+    if query.wants_presolve():
+        cert = _try_presolve(query)
+        if cert is not None:
+            return cert
+
     if query.kind == "local-exact":
         return certify_local_exact(
             query.layers, query.center, query.delta,
-            domain=query.domain, backend=query.backend,
+            domain=query.domain, backend=query.backend, bounds=query.bounds,
         )
     if query.kind == "local-nd":
         return certify_local_nd(
             query.layers, query.center, query.delta,
             window=query.window, domain=query.domain, backend=query.backend,
+            bounds=query.bounds,
         )
     if query.kind == "local-lpr":
         return certify_local_lpr(
             query.layers, query.center, query.delta,
-            domain=query.domain, backend=query.backend,
+            domain=query.domain, backend=query.backend, bounds=query.bounds,
         )
     if query.kind == "global":
         # The CLI's algorithm-1 knobs (window, refine, backend, limit)
@@ -171,6 +227,7 @@ def _execute_query(query: CertificationQuery):
             window=query.window,
             refine_count=query.refine_count,
             backend=query.backend,
+            bounds=query.bounds,
             milp_time_limit=query.effective_time_limit(),
         )
         return GlobalRobustnessCertifier(query.layers, config).certify(
@@ -180,6 +237,7 @@ def _execute_query(query: CertificationQuery):
     return certify_exact_global(
         query.layers, query.domain, query.delta,
         backend=query.backend, time_limit=query.effective_time_limit(),
+        bounds=query.bounds,
     )
 
 
@@ -221,12 +279,62 @@ class BatchCertifier:
             (capped by the batch size).  ``1`` executes inline — same
             semantics, no processes — which is also the automatic
             fallback when the platform cannot fork worker processes.
+
+    Attributes:
+        bounds_cache_info: After :meth:`run`, a dict with the shared
+            bound-propagation cache stats of that batch:
+            ``{"entries": repeated (network, input-box) pairs computed
+            once in the parent, "shared": queries served from an
+            already-computed entry}``.  Pairs occurring only once are
+            propagated inside the workers (in parallel) instead.
     """
 
     def __init__(self, max_workers: int | None = None) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.max_workers = max_workers
+        self.bounds_cache_info: dict[str, int] = {"entries": 0, "shared": 0}
+
+    def _attach_shared_bounds(self, queries: list[CertificationQuery]) -> None:
+        """Compute one LayerBounds per repeated (network, input-box) pair.
+
+        Presolve-eligible queries that share the same normal-form
+        network object and the same propagation inputs (box bytes, and
+        delta for global kinds) receive the same pre-computed
+        :class:`LayerBounds`, so the batch propagates each such pair
+        exactly once instead of once per query inside the workers.
+        Pairs that occur only once are deliberately left to the workers:
+        precomputing them here would serialize otherwise-parallel work
+        in the submitting process (and pickle the bounds into the pool)
+        with nothing to share.
+        """
+        from repro.bounds.propagator import get_propagator
+
+        self.bounds_cache_info = {"entries": 0, "shared": 0}
+        eligible: list[tuple[CertificationQuery, tuple, Box]] = []
+        counts: dict[tuple, int] = {}
+        for query in queries:
+            if not query.wants_presolve() or query.shared_bounds is not None:
+                continue
+            box = query.presolve_input_box()
+            delta = None if query.kind.startswith("local") else query.delta
+            key = (id(query.layers), box.lo.tobytes(), box.hi.tobytes(), delta)
+            eligible.append((query, key, box))
+            counts[key] = counts.get(key, 0) + 1
+
+        cache: dict[tuple, LayerBounds] = {}
+        for query, key, box in eligible:
+            if counts[key] < 2:
+                continue
+            if key in cache:
+                self.bounds_cache_info["shared"] += 1
+            else:
+                delta = None if query.kind.startswith("local") else query.delta
+                cache[key] = get_propagator("symbolic").propagate(
+                    query.layers, box, delta
+                )
+                self.bounds_cache_info["entries"] += 1
+            query.shared_bounds = cache[key]
 
     def run(
         self,
@@ -244,6 +352,7 @@ class BatchCertifier:
         total = len(queries)
         if total == 0:
             return []
+        self._attach_shared_bounds(queries)
         workers = self.max_workers or os.cpu_count() or 1
         workers = min(workers, total)
         if workers == 1:
@@ -286,9 +395,9 @@ class BatchCertifier:
 
 
 def _normal_form(network) -> list[AffineLayer]:
-    from repro.nn.network import Network
+    from repro.nn.network import as_affine_chain
 
-    return network.to_affine_layers() if isinstance(network, Network) else list(network)
+    return as_affine_chain(network)
 
 
 def local_queries(
@@ -299,6 +408,9 @@ def local_queries(
     domain: Box | None = None,
     backend: str = "scipy",
     window: int = 1,
+    epsilon: float | None = None,
+    bounds: str = "ibp",
+    presolve: bool = True,
     tag_prefix: str = "sample",
 ) -> list[CertificationQuery]:
     """Per-sample local certification queries (one per row of ``centers``).
@@ -312,6 +424,10 @@ def local_queries(
         domain: Optional domain box intersected with each δ-ball.
         backend: Solver backend for every query.
         window: ND window (``method="nd"`` only).
+        epsilon: Optional variation target enabling the presolve tier.
+        bounds: Bound propagator for the MILP tier (``"ibp"`` /
+            ``"symbolic"``).
+        presolve: Allow the presolve tier when ``epsilon`` is set.
         tag_prefix: Result tags become ``f"{tag_prefix}[{i}]"``.
     """
     if method not in ("exact", "nd", "lpr"):
@@ -326,6 +442,9 @@ def local_queries(
             domain=domain,
             window=window,
             backend=backend,
+            epsilon=epsilon,
+            bounds=bounds,
+            presolve=presolve,
             tag=f"{tag_prefix}[{i}]",
         )
         for i, center in enumerate(np.atleast_2d(np.asarray(centers, dtype=float)))
@@ -341,12 +460,16 @@ def global_query(
     backend: str = "scipy",
     time_limit: float | None = None,
     exact: bool = False,
+    epsilon: float | None = None,
+    bounds: str = "ibp",
+    presolve: bool = True,
     tag: str = "global",
 ) -> CertificationQuery:
     """One global certification query (Algorithm 1, or the exact MILP).
 
     ``time_limit=None`` (the default) applies the engine's 30 s per-MILP
-    safeguard; pass ``math.inf`` to disable it explicitly.
+    safeguard; pass ``math.inf`` to disable it explicitly.  An
+    ``epsilon`` target enables the bounds-only presolve tier.
     """
     return CertificationQuery(
         kind="global-exact" if exact else "global",
@@ -357,6 +480,9 @@ def global_query(
         refine_count=refine_count,
         backend=backend,
         time_limit=time_limit,
+        epsilon=epsilon,
+        bounds=bounds,
+        presolve=presolve,
         tag=tag,
     )
 

@@ -1,0 +1,156 @@
+"""Presolve tier: verdict soundness and agreement with the MILP answers."""
+
+import numpy as np
+import pytest
+
+from repro.bounds import Box, get_propagator
+from repro.certify import (
+    certify_exact_global,
+    certify_local_exact,
+    presolve_global,
+    presolve_local,
+)
+from repro.certify.presolve import perturbation_ball
+from repro.nn.affine import AffineLayer, affine_chain_forward
+
+
+def random_chain(rng, depth=2, width=5, in_dim=3, out_dim=2, scale=1.5):
+    dims = [in_dim] + [width] * (depth - 1) + [out_dim]
+    return [
+        AffineLayer(
+            scale * rng.standard_normal((dims[i + 1], dims[i])) / np.sqrt(dims[i]),
+            0.2 * rng.standard_normal(dims[i + 1]),
+            relu=i < depth - 1,
+        )
+        for i in range(depth)
+    ]
+
+
+@pytest.fixture(scope="module")
+def setting():
+    rng = np.random.default_rng(0)
+    layers = random_chain(rng, depth=3)
+    domain = Box.uniform(3, 0.0, 1.0)
+    center = np.array([0.4, 0.6, 0.5])
+    delta = 0.05
+    return layers, domain, center, delta
+
+
+class TestPresolveLocal:
+    def test_generous_epsilon_certified(self, setting):
+        layers, domain, center, delta = setting
+        cert = presolve_local(layers, center, delta, epsilon=1e6, domain=domain)
+        assert cert is not None
+        assert cert.method == "presolve"
+        assert cert.detail["verdict"] == "certified"
+        assert not cert.exact
+        assert cert.epsilon <= 1e6
+
+    def test_tiny_epsilon_refuted(self, setting):
+        layers, domain, center, delta = setting
+        cert = presolve_local(layers, center, delta, epsilon=1e-12, domain=domain)
+        assert cert is not None
+        assert cert.detail["verdict"] == "refuted"
+        # Refuted epsilons are attack lower bounds and must beat the target.
+        assert cert.epsilon > 1e-12
+
+    def test_undecidable_epsilon_returns_none(self):
+        # Seed 19 is a net where the symbolic ball bound is measurably
+        # looser than the exact optimum, leaving an undecided ε window.
+        layers = random_chain(np.random.default_rng(19), depth=3)
+        domain = Box.uniform(3, 0.0, 1.0)
+        center = np.array([0.4, 0.6, 0.5])
+        delta = 0.05
+        exact = certify_local_exact(layers, center, delta, domain=domain)
+        ball = perturbation_ball(center, delta, domain)
+        bounds = get_propagator("symbolic").propagate(layers, ball)
+        base = affine_chain_forward(layers, center)
+        ub = float(
+            np.max(
+                np.maximum(
+                    np.abs(bounds.output.hi - base), np.abs(base - bounds.output.lo)
+                )
+            )
+        )
+        if ub <= exact.epsilon + 1e-9:
+            pytest.skip("symbolic bound tight on this net: no undecided window")
+        epsilon = 0.5 * (exact.epsilon + ub)
+        # bound cannot prove (ub > epsilon); attack cannot refute
+        # (true epsilon < epsilon) — the tier must pass.
+        assert presolve_local(layers, center, delta, epsilon, domain=domain) is None
+
+    def test_verdicts_agree_with_milp(self):
+        """Property (c): presolve answers match the exact MILP answers."""
+        rng = np.random.default_rng(1)
+        checked = 0
+        for trial in range(8):
+            layers = random_chain(rng, depth=int(rng.integers(2, 4)))
+            domain = Box.uniform(3, 0.0, 1.0)
+            center = domain.sample(rng)[0]
+            delta = 0.08
+            exact = certify_local_exact(layers, center, delta, domain=domain)
+            for factor in (0.25, 0.9, 1.1, 4.0):
+                epsilon = max(exact.epsilon * factor, 1e-9)
+                cert = presolve_local(layers, center, delta, epsilon, domain=domain)
+                if cert is None:
+                    continue
+                checked += 1
+                if cert.detail["verdict"] == "certified":
+                    assert exact.epsilon <= epsilon + 1e-7
+                else:
+                    assert exact.epsilon > epsilon - 1e-7
+        assert checked > 0
+
+    def test_layer_bounds_reuse(self, setting):
+        layers, domain, center, delta = setting
+        ball = perturbation_ball(center, delta, domain)
+        shared = get_propagator("symbolic").propagate(layers, ball)
+        direct = presolve_local(layers, center, delta, 1e6, domain=domain)
+        reused = presolve_local(
+            layers, center, delta, 1e6, domain=domain, layer_bounds=shared
+        )
+        assert np.allclose(direct.epsilons, reused.epsilons)
+        assert reused.detail["bounds"] == "symbolic"
+
+
+class TestPresolveGlobal:
+    def test_generous_epsilon_certified(self, setting):
+        layers, domain, _, delta = setting
+        cert = presolve_global(layers, domain, delta, epsilon=1e6)
+        assert cert is not None
+        assert cert.method == "presolve"
+        assert cert.detail["verdict"] == "certified"
+
+    def test_tiny_epsilon_refuted(self, setting):
+        layers, domain, _, delta = setting
+        cert = presolve_global(layers, domain, delta, epsilon=1e-12)
+        assert cert is not None
+        assert cert.detail["verdict"] == "refuted"
+
+    def test_verdicts_agree_with_exact_milp(self):
+        rng = np.random.default_rng(2)
+        checked = 0
+        for trial in range(4):
+            layers = random_chain(rng, depth=2, width=4)
+            domain = Box.uniform(3, 0.0, 1.0)
+            delta = 0.05
+            exact = certify_exact_global(layers, domain, delta)
+            assert exact.exact
+            for factor in (0.3, 0.95, 1.05, 3.0):
+                epsilon = max(exact.epsilon * factor, 1e-9)
+                cert = presolve_global(layers, domain, delta, epsilon)
+                if cert is None:
+                    continue
+                checked += 1
+                if cert.detail["verdict"] == "certified":
+                    assert exact.epsilon <= epsilon + 1e-7
+                else:
+                    assert exact.epsilon > epsilon - 1e-7
+        assert checked > 0
+
+    def test_certified_bound_dominates_attack(self, setting):
+        """The proving and refuting sides must never cross."""
+        layers, domain, _, delta = setting
+        certified = presolve_global(layers, domain, delta, epsilon=1e6)
+        refuted = presolve_global(layers, domain, delta, epsilon=1e-12)
+        assert refuted.epsilon <= certified.epsilon + 1e-9

@@ -60,6 +60,82 @@ class TestQueryValidation:
         with pytest.raises(ValueError):
             BatchCertifier(max_workers=0)
 
+    def test_nonpositive_epsilon_rejected(self, layers, centers):
+        for bad in (0.0, -1.0, float("nan")):
+            with pytest.raises(ValueError, match="epsilon"):
+                CertificationQuery(
+                    kind="local-exact", layers=layers, delta=0.1,
+                    center=centers[0], epsilon=bad,
+                )
+
+
+class TestPresolveTier:
+    def test_presolve_answers_without_milp(self, layers, centers):
+        queries = local_queries(layers, centers, 0.01, epsilon=1e6)
+        engine = BatchCertifier(max_workers=1)
+        results = engine.run(queries)
+        assert all(r.ok for r in results)
+        assert all(r.certificate.method == "presolve" for r in results)
+        assert all(
+            r.certificate.detail["verdict"] == "certified" for r in results
+        )
+        # Distinct centers never share a cache entry, so nothing is
+        # precomputed in the parent (workers propagate in parallel).
+        assert engine.bounds_cache_info == {"entries": 0, "shared": 0}
+
+    def test_presolve_disabled_falls_through(self, layers, centers):
+        queries = local_queries(
+            layers, centers[:1], 0.01, epsilon=1e6, presolve=False
+        )
+        engine = BatchCertifier(max_workers=1)
+        results = engine.run(queries)
+        assert results[0].certificate.method == "local-exact"
+        assert engine.bounds_cache_info["entries"] == 0
+
+    def test_shared_bounds_cached_per_input_box(self, layers, centers):
+        # The same center submitted twice must propagate bounds once.
+        doubled = np.vstack([centers, centers])
+        queries = local_queries(layers, doubled, 0.01, epsilon=1e6)
+        engine = BatchCertifier(max_workers=1)
+        engine.run(queries)
+        assert engine.bounds_cache_info["entries"] == len(centers)
+        assert engine.bounds_cache_info["shared"] == len(centers)
+        assert all(q.shared_bounds is not None for q in queries)
+
+    def test_global_presolve_through_engine(self, layers):
+        box = Box.uniform(3, 0.0, 1.0)
+        out = BatchCertifier(max_workers=1).run(
+            [global_query(layers, box, 0.01, epsilon=1e6, tag="g")]
+        )
+        assert out[0].ok
+        assert out[0].certificate.method == "presolve"
+
+    def test_undecided_matches_plain_milp(self, layers, centers):
+        # A refutable target: presolve answers via the attack gap; the
+        # verdict must be consistent with the exact MILP epsilon.
+        exact = certify_local_exact(layers, centers[0], 0.05)
+        tiny = exact.epsilon * 1e-6
+        results = BatchCertifier(max_workers=1).run(
+            local_queries(layers, centers[:1], 0.05, epsilon=tiny)
+        )
+        cert = results[0].certificate
+        if cert.method == "presolve":
+            assert cert.detail["verdict"] == "refuted"
+            assert cert.epsilon > tiny
+        else:
+            np.testing.assert_allclose(cert.epsilons, exact.epsilons, atol=1e-9)
+
+    def test_workers_parity_with_presolve(self, layers, centers):
+        queries = lambda: local_queries(layers, centers, 0.05, epsilon=0.05)  # noqa: E731
+        serial = BatchCertifier(max_workers=1).run(queries())
+        fanned = BatchCertifier(max_workers=2).run(queries())
+        for a, b in zip(serial, fanned):
+            assert a.ok and b.ok
+            assert a.certificate.method == b.certificate.method
+            np.testing.assert_allclose(
+                a.certificate.epsilons, b.certificate.epsilons, atol=1e-9
+            )
+
 
 @pytest.mark.parametrize("workers", [1, 2])
 class TestParity:

@@ -52,6 +52,57 @@ class TestCli:
         ) == 0
         assert "pgd-under" in capsys.readouterr().out
 
+    def test_bounds(self, model_path, capsys):
+        assert main(["bounds", model_path]) == 0
+        out = capsys.readouterr().out
+        assert "y-width ibp" in out and "y-width sym" in out
+        assert "overall stable neurons" in out
+        assert "Δy-width" not in out  # no delta: no distance columns
+
+    def test_bounds_with_delta(self, model_path, capsys):
+        assert main(["bounds", model_path, "--delta", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "Δy-width ibp" in out
+        assert "output variation bound" in out
+
+    def test_certify_symbolic_bounds(self, model_path, capsys):
+        assert main(["certify", model_path, "--delta", "0.01",
+                     "--bounds", "symbolic"]) == 0
+        assert "itne-nd-lpr-symbolic" in capsys.readouterr().out
+
+    def test_certify_symbolic_dominates_exact(self, model_path, capsys):
+        main(["certify", model_path, "--delta", "0.01", "--method", "exact"])
+        exact_out = capsys.readouterr().out
+        main(["certify", model_path, "--delta", "0.01", "--bounds", "symbolic"])
+        sym_out = capsys.readouterr().out
+
+        def worst(text):
+            vals = [float(line.rsplit("=", 1)[1])
+                    for line in text.splitlines() if "output" in line]
+            return max(vals)
+
+        assert worst(sym_out) >= worst(exact_out) - 1e-7
+
+    def test_batch_epsilon_presolve(self, model_path, capsys):
+        code = main(
+            ["batch", model_path, "--delta", "0.01", "--samples", "3",
+             "--workers", "1", "--epsilon", "1000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "presolve (certified)" in out
+        assert "presolve tier answered 3/3 queries" in out
+
+    def test_batch_no_presolve_flag(self, model_path, capsys):
+        code = main(
+            ["batch", model_path, "--delta", "0.01", "--samples", "2",
+             "--workers", "1", "--epsilon", "1000", "--no-presolve"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "presolve tier answered 0/2 queries" in out
+        assert "local-exact" in out
+
     def test_batch(self, model_path, capsys):
         code = main(
             ["batch", model_path, "--delta", "0.02", "--samples", "3",
@@ -74,6 +125,11 @@ class TestCli:
         assert code == 0
         out = capsys.readouterr().out
         assert "sample[1]" in out and "sample[2]" not in out
+
+    def test_batch_epsilon_zero_rejected(self, model_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["batch", model_path, "--delta", "0.01", "--epsilon", "0"])
+        assert "positive variation target" in capsys.readouterr().err
 
     def test_time_limit_zero_rejected(self, model_path, capsys):
         with pytest.raises(SystemExit):
