@@ -1,0 +1,114 @@
+"""Diff two ``BENCH_*.json`` files and gate on speedup regressions.
+
+The benchmark suite writes machine-readable ``BENCH_<name>.json`` files
+(uploaded as CI artifacts) whose ``*speedup*`` entries are the recorded
+performance claims of their PRs.  This tool compares a baseline file
+against a fresh one and **fails when any speedup metric regressed by
+more than the threshold** (default 20 %) — speedup *ratios* rather than
+raw timings, so the gate is stable across machines of different speeds.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.compare_bench \\
+        /tmp/BENCH_splitting_base.json benchmarks/BENCH_splitting.json \\
+        [--threshold 0.2]
+
+Exit status: 0 when no compared metric regressed, 1 otherwise.  Metrics
+present in only one file are reported but never fail the gate (a new
+benchmark section must not fail its own introduction).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def numeric_leaves(data, prefix=""):
+    """Flatten a JSON tree into ``{dotted.path: float}`` leaves."""
+    leaves = {}
+    if isinstance(data, dict):
+        for key, value in data.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            leaves.update(numeric_leaves(value, path))
+    elif isinstance(data, list):
+        for index, value in enumerate(data):
+            leaves.update(numeric_leaves(value, f"{prefix}[{index}]"))
+    elif isinstance(data, (int, float)) and not isinstance(data, bool):
+        leaves[prefix] = float(data)
+    return leaves
+
+
+def speedup_metrics(leaves: dict) -> dict:
+    """The performance claims: every numeric leaf named ``*speedup*``."""
+    return {
+        path: value
+        for path, value in leaves.items()
+        if "speedup" in path.rsplit(".", 1)[-1].lower()
+    }
+
+
+def compare(base: dict, fresh: dict, threshold: float) -> tuple[list, list]:
+    """Compare speedup metrics; returns (report_rows, regressions)."""
+    base_metrics = speedup_metrics(numeric_leaves(base))
+    fresh_metrics = speedup_metrics(numeric_leaves(fresh))
+    rows = []
+    regressions = []
+    for path in sorted(set(base_metrics) | set(fresh_metrics)):
+        old = base_metrics.get(path)
+        new = fresh_metrics.get(path)
+        if old is None:
+            rows.append((path, "-", f"{new:.2f}", "new metric"))
+            continue
+        if new is None:
+            rows.append((path, f"{old:.2f}", "-", "metric removed"))
+            continue
+        change = (new - old) / old if old else 0.0
+        status = "ok"
+        if new < old * (1.0 - threshold):
+            status = f"REGRESSION ({change:+.0%})"
+            regressions.append(path)
+        elif change:
+            status = f"{change:+.0%}"
+        rows.append((path, f"{old:.2f}", f"{new:.2f}", status))
+    return rows, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("fresh", help="freshly generated BENCH_*.json")
+    parser.add_argument(
+        "--threshold", type=float, default=0.2,
+        help="relative speedup drop that fails the gate (default 0.2)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 < args.threshold < 1.0:
+        parser.error("--threshold must be in (0, 1)")
+
+    base = json.loads(Path(args.baseline).read_text())
+    fresh = json.loads(Path(args.fresh).read_text())
+    rows, regressions = compare(base, fresh, args.threshold)
+
+    if not rows:
+        print("no speedup metrics found in either file — nothing to gate")
+        return 0
+    width = max(len(r[0]) for r in rows)
+    print(f"{'metric':<{width}} | baseline | fresh | status")
+    for path, old, new, status in rows:
+        print(f"{path:<{width}} | {old:>8} | {new:>5} | {status}")
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} speedup metric(s) regressed by "
+            f">{args.threshold:.0%}: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nOK: no speedup metric regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,10 @@
   ``ε̲`` used to sandwich the true global robustness for large networks.
 * :mod:`repro.certify.presolve` — the bounds-only presolve tier:
   ε-targeted queries answered (proved or refuted) without any solve.
+* :mod:`repro.certify.splitting` — the input-splitting
+  branch-and-bound tier: ε-targeted queries decided by recursively
+  bisecting the input domain, with binary-sparse MILPs only at the
+  leaves that cheap bounds cannot decide.
 """
 
 from repro.certify.decomposition import SubNetwork, decompose
@@ -24,6 +28,11 @@ from repro.certify.presolve import presolve_global, presolve_local
 from repro.certify.refinement import select_refinement
 from repro.certify.reluplex import ReluplexStyleSolver
 from repro.certify.results import GlobalCertificate, LocalCertificate
+from repro.certify.splitting import (
+    SplitConfig,
+    certify_global_split,
+    certify_local_split,
+)
 from repro.certify.underapprox import pgd_underapproximation
 
 __all__ = [
@@ -36,6 +45,9 @@ __all__ = [
     "certify_local_lpr",
     "presolve_local",
     "presolve_global",
+    "SplitConfig",
+    "certify_local_split",
+    "certify_global_split",
     "pgd_underapproximation",
     "GlobalCertificate",
     "LocalCertificate",

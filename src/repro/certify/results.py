@@ -18,12 +18,16 @@ class GlobalCertificate:
     Attributes:
         delta: Input perturbation bound δ.
         epsilons: Per-output certified variation bounds (ε̄ per output).
-        method: Human-readable method tag, e.g. ``"itne-nd-lpr"``.
+        method: Human-readable method tag, e.g. ``"itne-nd-lpr"``
+            (``"presolve"`` / ``"split"`` for the ε-targeted tiers).
         exact: Whether the bound is exact (ε) rather than an
-            over-approximation (ε̄).
+            over-approximation (ε̄).  ε-targeted tiers overload this as
+            "the verdict is decided": a ``method="split"`` certificate
+            has ``exact=True`` iff its verdict is not ``"undecided"``.
         solve_time: Wall-clock seconds.
         lp_count / milp_count: Number of LP / MILP solves performed.
-        detail: Free-form extra data (per-layer ranges, gaps...).
+        detail: Free-form extra data (per-layer ranges, gaps...); the
+            ε-targeted tiers record their ``verdict`` here.
     """
 
     delta: float
@@ -39,6 +43,18 @@ class GlobalCertificate:
     def epsilon(self) -> float:
         """Worst output variation bound (scalar ε of Problem 1)."""
         return float(np.max(self.epsilons))
+
+    @property
+    def verdict(self) -> str | None:
+        """Decision of an ε-targeted tier (presolve / split), if any.
+
+        ``"certified"``, ``"refuted"``, ``"undecided"`` (split tier
+        interrupted by its deadline), or ``None`` for certificates of
+        the bound-computing methods, which have no ε target to decide.
+        On ``"refuted"`` the ``epsilons`` are concrete witness *lower*
+        bounds; on every other outcome they are sound upper bounds.
+        """
+        return self.detail.get("verdict")
 
     def summary(self) -> str:
         """One-line report."""
@@ -60,13 +76,16 @@ class LocalCertificate:
         epsilons: Per-output bounds on ``|F(x̂)_j − F(x(0))_j|``.
         output_lo / output_hi: Certified output range of the perturbed
             copy (the quantity Fig. 4's local table reports).
-        method: Method tag (``"presolve"`` for bounds-only answers).
-        exact: Whether bounds are exact.
+        method: Method tag (``"presolve"`` for bounds-only answers,
+            ``"split"`` for the input-splitting branch-and-bound tier).
+        exact: Whether bounds are exact.  ε-targeted tiers overload
+            this as "the verdict is decided" (see
+            :attr:`GlobalCertificate.exact`).
         solve_time: Wall-clock seconds.
-        detail: Free-form extra data; the presolve tier records its
-            ``verdict`` (``"certified"``/``"refuted"``) and bound method
-            here.  On a refuted verdict ``epsilons`` are attack *lower*
-            bounds, not certified upper bounds.
+        detail: Free-form extra data; the ε-targeted tiers record their
+            ``verdict`` (``"certified"``/``"refuted"``/``"undecided"``)
+            and bound method here.  On a refuted verdict ``epsilons``
+            are attack *lower* bounds, not certified upper bounds.
     """
 
     center: np.ndarray
@@ -83,3 +102,11 @@ class LocalCertificate:
     def epsilon(self) -> float:
         """Worst-output local robustness bound."""
         return float(np.max(self.epsilons))
+
+    @property
+    def verdict(self) -> str | None:
+        """Decision of an ε-targeted tier (presolve / split), if any.
+
+        Same semantics as :attr:`GlobalCertificate.verdict`.
+        """
+        return self.detail.get("verdict")

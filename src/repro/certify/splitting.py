@@ -1,0 +1,725 @@
+"""Input-splitting branch-and-bound certification tier.
+
+The monolithic MILP tier answers an ε-query with one big-M encoding
+over the *whole* perturbation ball, where loose bounds mean many
+unstable ReLUs and many binaries.  This tier instead runs complete
+branch-and-bound over the **input space** (the ReluVal / α,β-CROWN
+family of input splitting):
+
+* a priority work-queue holds input subdomains ordered by how far their
+  symbolic variation bound exceeds the target ε (worst first);
+* each subdomain is first attacked with the presolve tier's machinery —
+  symbolic bounds prove it, a gradient-corner attack refutes the whole
+  query (any concrete witness > ε short-circuits everything);
+* undecided subdomains are bisected on a gradient-weighted widest input
+  dimension, so cheap bound propagation decides most of the volume;
+* below a configurable depth / width / domain-budget threshold a
+  subdomain drops to a **MILP leaf** whose encoding inherits the much
+  tighter per-subdomain :class:`~repro.bounds.propagator.LayerBounds`
+  (more stable neurons → fewer binaries, via the existing ``bounds=``
+  knobs on the encoders).
+
+The query is *certified* when every terminal subdomain's bound is ≤ ε
+and the terminal subdomains exactly tile the root box (bisection keeps
+this invariant by construction); it is *refuted* the moment any
+feasible witness exceeds ε.  A shared deadline keeps the tier sound
+under ``time_limit``: interrupted runs report ``exact=False`` with
+verdict ``"undecided"`` and a finite sound interval bound (never a
+claimed decision), exactly like the PR-3 time-limited MILP semantics.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bounds.interval import Box
+from repro.bounds.propagator import LayerBounds, get_propagator
+from repro.certify.presolve import (
+    _output_gradient,
+    _variation_witness,
+    perturbation_ball,
+    variation_from_reference,
+)
+from repro.certify.results import GlobalCertificate, LocalCertificate
+from repro.encoding.itne import encode_itne
+from repro.encoding.single import encode_single_network
+from repro.milp.expr import as_expr
+from repro.milp.solution import SolveStatus
+from repro.nn.affine import AffineLayer, affine_chain_forward
+from repro.nn.network import Network, as_affine_chain
+
+__all__ = ["SplitConfig", "certify_local_split", "certify_global_split"]
+
+#: Resource-limit statuses that soundly fall back to a bound (mirrors
+#: :mod:`repro.certify.exact`); anything else non-optimal raises.
+_LIMIT_STATUSES = (SolveStatus.TIME_LIMIT, SolveStatus.ITERATION_LIMIT)
+
+
+@dataclass
+class SplitConfig:
+    """Knobs of the input-splitting tier.
+
+    Attributes:
+        max_domains: Budget on evaluated subdomains.  Once this many
+            boxes have had bounds propagated, bisection stops and every
+            remaining queue entry becomes a MILP leaf.
+        max_depth: Subdomains at this bisection depth become MILP
+            leaves instead of splitting further.
+        min_width: Subdomains whose widest side is at most this become
+            MILP leaves (guards against splitting a near-point box).
+        attack_samples: Extra random gradient-corner attack starts per
+            subdomain (the subdomain center is always attacked).
+        backend: MILP backend for leaf solves.
+        bounds: Bound propagator re-run per subdomain (default
+            ``"symbolic"`` — the whole point is tight per-box bounds).
+        time_limit: Shared wall-clock deadline in seconds for the whole
+            query (bounding, attacks and leaf MILPs together).  ``None``
+            = unlimited.  When the deadline interrupts the run, the
+            verdict is ``"undecided"`` and ``exact=False``.
+        leaf_workers: Process count for solving leaf MILPs concurrently
+            (``None`` = serial; the batch engine grants its worker
+            budget here when a split query runs inline).
+        record_boxes: Record every terminal subdomain's ``(lo, hi)`` in
+            ``detail["leaf_boxes"]`` — the tiling-invariant audit trail
+            used by the property tests.
+        seed: RNG seed for the attack sample starts.
+    """
+
+    max_domains: int = 128
+    max_depth: int = 12
+    min_width: float = 1e-6
+    attack_samples: int = 1
+    backend: str = "scipy"
+    bounds: str = "symbolic"
+    time_limit: float | None = None
+    leaf_workers: int | None = None
+    record_boxes: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_domains < 1:
+            raise ValueError("max_domains must be >= 1")
+        if self.max_depth < 0:
+            raise ValueError("max_depth must be >= 0")
+        if self.time_limit is not None and not self.time_limit > 0:
+            # `not > 0` also rejects NaN (same contract as the batch
+            # engine's CertificationQuery.time_limit).
+            raise ValueError("time_limit must be positive seconds or None")
+
+
+@dataclass(order=True)
+class _QueueItem:
+    """A pending subdomain, ordered worst-excess-first.
+
+    ``priority = ε − ε̄(box)`` is negative while the subdomain's bound
+    exceeds the target, so the min-heap pops the most-violating box.
+    """
+
+    priority: float
+    seq: int
+    depth: int = field(compare=False)
+    box: Box = field(compare=False)
+    bounds: LayerBounds = field(compare=False)
+    eps_ub: np.ndarray = field(compare=False)
+
+
+@dataclass
+class _Leaf:
+    """One subdomain that dropped to the MILP tier (picklable)."""
+
+    box: Box
+    bounds: LayerBounds
+    eps_ub: np.ndarray
+    depth: int
+
+
+@dataclass
+class _LeafOutcome:
+    """Sound per-leaf result of a MILP leaf solve.
+
+    ``eps`` is always a sound per-output upper bound on the variation
+    over the leaf (exact when ``exact``); ``witness_eps`` is the best
+    concrete per-output variation found (a certified lower bound) and
+    ``witness`` the input (or input pair) achieving it.
+    """
+
+    eps: np.ndarray
+    out_lo: np.ndarray | None
+    out_hi: np.ndarray | None
+    exact: bool
+    limit_hits: int
+    witness_eps: np.ndarray | None = None
+    witness: np.ndarray | None = None
+
+
+def _bisect(box: Box, dim: int) -> tuple[Box, Box]:
+    """Split ``box`` at the midpoint of coordinate ``dim``.
+
+    The two halves share the cut hyperplane and nothing else, so a
+    bisection tree's leaves always tile the root exactly (no gap, no
+    interior overlap) — the soundness invariant of the tier.
+    """
+    mid = 0.5 * (float(box.lo[dim]) + float(box.hi[dim]))
+    lo_half_hi = box.hi.copy()
+    lo_half_hi[dim] = mid
+    hi_half_lo = box.lo.copy()
+    hi_half_lo[dim] = mid
+    return Box(box.lo.copy(), lo_half_hi), Box(hi_half_lo, box.hi.copy())
+
+
+def _split_dimension(layers: list[AffineLayer], box: Box, worst_output: int) -> int:
+    """Gradient-weighted widest dimension: argmax ``|∂F_j/∂x_d| · w_d``.
+
+    The gradient is taken at the box center for the output whose bound
+    currently violates ε the most; dimensions the network is flat in
+    are never split on while an influential one is available.
+    """
+    width = box.width()
+    grad = _output_gradient(layers, box.center, worst_output)
+    score = width * np.abs(grad)
+    if float(score.max()) <= 0.0:
+        return int(np.argmax(width))
+    return int(np.argmax(score))
+
+
+# -- leaf MILP solving --------------------------------------------------------
+
+
+def _per_solve_limit(leaf_budget: float | None, n_solves: int) -> float | None:
+    """Split a leaf's remaining wall-clock budget across its solves.
+
+    ``Model.solve_many`` applies a *per-solve* limit; handing it the
+    whole remaining budget would let one leaf overshoot the shared
+    deadline by a factor of ``n_solves``.  A small floor keeps a solve
+    from being strangled into a useless instant timeout — overshooting
+    the deadline slightly only delays the (sound) undecided fallback.
+    """
+    if leaf_budget is None:
+        return None
+    return max(leaf_budget / max(n_solves, 1), 0.05)
+
+
+def _solve_local_leaf(
+    layers: list[AffineLayer],
+    leaf: _Leaf,
+    base: np.ndarray,
+    backend: str,
+    time_limit: float | None,
+) -> _LeafOutcome:
+    """Exact min/max of every output over one leaf box (single copy).
+
+    The encoding inherits the leaf's per-subdomain pre-activation
+    bounds, so stable neurons encode without binaries.  A time-limited
+    solve soundly falls back to its dual bound intersected with the
+    leaf's interval bound (never a limited incumbent).
+    """
+    enc = encode_single_network(
+        layers, leaf.box, pre_act_bounds=leaf.bounds.y
+    )
+    objectives = []
+    for handle in enc.output:
+        expr = as_expr(handle)
+        objectives.extend([(expr, "min"), (expr, "max")])
+    results = enc.model.solve_many(
+        objectives, backend=backend,
+        time_limit=_per_solve_limit(time_limit, len(objectives)),
+    )
+    out_dim = layers[-1].out_dim
+    interval = leaf.bounds.output
+    lo = np.empty(out_dim)
+    hi = np.empty(out_dim)
+    limit_hits = 0
+    witness = None
+    witness_eps = None
+    for j in range(out_dim):
+        r_lo, r_hi = results[2 * j], results[2 * j + 1]
+        for r in (r_lo, r_hi):
+            if not r.is_optimal and r.status not in _LIMIT_STATUSES:
+                raise RuntimeError(
+                    f"split leaf solve failed on output {j}: "
+                    f"status={r.status.value} ({r.message})"
+                )
+        b_lo = r_lo.sound_bound()
+        b_hi = r_hi.sound_bound()
+        lo[j] = float(interval.lo[j]) if b_lo is None else max(b_lo, float(interval.lo[j]))
+        hi[j] = float(interval.hi[j]) if b_hi is None else min(b_hi, float(interval.hi[j]))
+        limit_hits += (not r_lo.is_optimal) + (not r_hi.is_optimal)
+        # Track the extremal feasible input as a concrete witness.
+        for r in (r_lo, r_hi):
+            if not r.is_optimal:
+                continue
+            x = np.array([r[v] for v in enc.input_vars])
+            eps = np.abs(affine_chain_forward(layers, x) - base)
+            if witness_eps is None or eps.max() > witness_eps.max():
+                witness_eps, witness = eps, x
+    return _LeafOutcome(
+        eps=variation_from_reference(lo, hi, base),
+        out_lo=lo,
+        out_hi=hi,
+        exact=limit_hits == 0,
+        limit_hits=limit_hits,
+        witness_eps=witness_eps,
+        witness=witness,
+    )
+
+
+def _solve_global_leaf(
+    layers: list[AffineLayer],
+    leaf: _Leaf,
+    delta: float,
+    domain: Box,
+    backend: str,
+    time_limit: float | None,
+) -> _LeafOutcome:
+    """Exact output-distance extrema over one leaf (twin ITNE MILP).
+
+    The first copy's input ranges over the leaf box; the perturbed copy
+    is clipped to the *full* domain (not the leaf!) so the union over a
+    tiling of the domain is exactly the monolithic Problem 1 — clipping
+    the twin to the leaf would unsoundly shrink the feasible pairs.
+    """
+    table = leaf.bounds.to_range_table()
+    enc = encode_itne(
+        layers, leaf.box, delta, ranges=table, clip_second_input=False
+    )
+    for k, (x0, d0) in enumerate(zip(enc.input_vars, enc.input_dist_vars)):
+        second = x0 + d0
+        enc.model.add_constr(second >= float(domain.lo[k]))
+        enc.model.add_constr(second <= float(domain.hi[k]))
+    objectives = []
+    for handle in enc.output_distance:
+        expr = as_expr(handle)
+        objectives.extend([(expr, "min"), (expr, "max")])
+    results = enc.model.solve_many(
+        objectives, backend=backend,
+        time_limit=_per_solve_limit(time_limit, len(objectives)),
+    )
+    out_dim = layers[-1].out_dim
+    interval = leaf.bounds.output_distance
+    eps = np.empty(out_dim)
+    limit_hits = 0
+    witness = None
+    witness_eps = None
+    for j in range(out_dim):
+        r_lo, r_hi = results[2 * j], results[2 * j + 1]
+        for r in (r_lo, r_hi):
+            if not r.is_optimal and r.status not in _LIMIT_STATUSES:
+                raise RuntimeError(
+                    f"split leaf solve failed on output {j}: "
+                    f"status={r.status.value} ({r.message})"
+                )
+        b_lo = r_lo.sound_bound()
+        b_hi = r_hi.sound_bound()
+        lo = float(interval.lo[j]) if b_lo is None else max(b_lo, float(interval.lo[j]))
+        hi = float(interval.hi[j]) if b_hi is None else min(b_hi, float(interval.hi[j]))
+        limit_hits += (not r_lo.is_optimal) + (not r_hi.is_optimal)
+        eps[j] = max(abs(lo), abs(hi))
+        for r in (r_lo, r_hi):
+            if not r.is_optimal:
+                continue
+            x = np.array([r[v] for v in enc.input_vars])
+            xh = x + np.array([r[v] for v in enc.input_dist_vars])
+            pair_eps = np.abs(
+                affine_chain_forward(layers, xh) - affine_chain_forward(layers, x)
+            )
+            if witness_eps is None or pair_eps.max() > witness_eps.max():
+                witness_eps, witness = pair_eps, np.stack([x, xh])
+    return _LeafOutcome(
+        eps=eps,
+        out_lo=None,
+        out_hi=None,
+        exact=limit_hits == 0,
+        limit_hits=limit_hits,
+        witness_eps=witness_eps,
+        witness=witness,
+    )
+
+
+def _leaf_worker(payload) -> _LeafOutcome:
+    """Picklable entry point for parallel leaf solving."""
+    kind, layers, leaf, extra, backend, time_limit = payload
+    if kind == "local":
+        return _solve_local_leaf(layers, leaf, extra, backend, time_limit)
+    delta, domain = extra
+    return _solve_global_leaf(layers, leaf, delta, domain, backend, time_limit)
+
+
+def _solve_leaves(
+    kind: str,
+    layers: list[AffineLayer],
+    leaves: list[_Leaf],
+    extra,
+    config: SplitConfig,
+    deadline: float | None,
+) -> list[_LeafOutcome | None]:
+    """Solve every leaf MILP, worst-excess first, optionally in parallel.
+
+    Returns one outcome per leaf (input order); ``None`` marks a leaf
+    the deadline prevented from being solved at all.  Parallel mode
+    reuses the batch engine's pool machinery (and its fall-back-serial
+    contract on platforms that cannot fork).
+    """
+    if not leaves:
+        return []
+    order = sorted(
+        range(len(leaves)), key=lambda i: -float(leaves[i].eps_ub.max())
+    )
+    outcomes: list[_LeafOutcome | None] = [None] * len(leaves)
+    workers = 1 if config.leaf_workers is None else config.leaf_workers
+    workers = min(workers, len(leaves))
+    if workers > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.runtime.batch import _POOL_FAILURES
+
+        remaining = None if deadline is None else deadline - time.perf_counter()
+        if remaining is not None and remaining <= 0:
+            return outcomes
+        payloads = [
+            (kind, layers, leaves[i], extra, config.backend, remaining)
+            for i in order
+        ]
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                solved = list(pool.map(_leaf_worker, payloads))
+            for i, outcome in zip(order, solved):
+                outcomes[i] = outcome
+            return outcomes
+        except _POOL_FAILURES:
+            pass  # sandboxes without fork: fall through to serial
+    for i in order:
+        remaining = None if deadline is None else deadline - time.perf_counter()
+        if remaining is not None and remaining <= 0:
+            break  # deadline: remaining leaves stay undecided (sound)
+        outcomes[i] = _leaf_worker(
+            (kind, layers, leaves[i], extra, config.backend, remaining)
+        )
+    return outcomes
+
+
+# -- the branch-and-bound driver ----------------------------------------------
+
+
+class _SplitRun:
+    """State of one branch-and-bound certification run (local or global).
+
+    The local and global variants share the whole queue discipline and
+    differ only in how a box is bounded, attacked and leaf-solved; the
+    ``kind`` switch keeps that delta in one place instead of two nearly
+    identical drivers.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        layers: list[AffineLayer],
+        root: Box,
+        epsilon: float,
+        config: SplitConfig,
+        base: np.ndarray | None = None,
+        delta: float | None = None,
+        domain: Box | None = None,
+    ) -> None:
+        self.kind = kind
+        self.layers = layers
+        self.root = root
+        self.epsilon = float(epsilon)
+        self.config = config
+        self.base = base
+        self.delta = delta
+        self.domain = domain
+        self.propagator = get_propagator(config.bounds)
+        self.rng = np.random.default_rng(config.seed)
+        self.targets = list(range(layers[-1].out_dim))
+        self.t0 = time.perf_counter()
+        self.deadline = (
+            None if config.time_limit is None else self.t0 + config.time_limit
+        )
+        self.seq = itertools.count()
+        self.domains = 0
+        self.bisections = 0
+        self.proved: list[tuple[Box, np.ndarray, LayerBounds]] = []
+        self.undecided: list[tuple[Box, np.ndarray]] = []
+        self.milp_leaves: list[_Leaf] = []
+        self.milp_limit_hits = 0
+        self.proved_by_bounds = 0
+        self.root_bounds: LayerBounds | None = None
+
+    # -- per-box primitives --------------------------------------------------
+
+    def evaluate(self, box: Box, depth: int) -> _QueueItem:
+        """Propagate per-subdomain bounds and build the queue entry."""
+        self.domains += 1
+        if self.kind == "local":
+            bounds = self.propagator.propagate(self.layers, box)
+            out = bounds.output
+            eps_ub = variation_from_reference(out.lo, out.hi, self.base)
+        else:
+            bounds = self.propagator.propagate(self.layers, box, self.delta)
+            eps_ub = bounds.output_variation_bounds()
+        return _QueueItem(
+            priority=self.epsilon - float(eps_ub.max()),
+            seq=next(self.seq),
+            depth=depth,
+            box=box,
+            bounds=bounds,
+            eps_ub=eps_ub,
+        )
+
+    def attack(self, box: Box) -> np.ndarray:
+        """Best concrete per-output variation found inside ``box``."""
+        starts = [box.center]
+        if self.config.attack_samples > 0:
+            starts += list(box.sample(self.rng, self.config.attack_samples))
+        eps_lb = np.zeros(len(self.targets))
+        for x in starts:
+            if self.kind == "local":
+                # Corners of the subdomain are feasible perturbations of
+                # the original ball (the subdomain is a subset of it).
+                witness = _variation_witness(
+                    self.layers, x, box, self.targets, reference=self.base
+                )
+            else:
+                ball = perturbation_ball(x, self.delta, self.domain)
+                witness = _variation_witness(self.layers, x, ball, self.targets)
+            eps_lb = np.maximum(eps_lb, witness)
+            if float(eps_lb.max()) > self.epsilon:
+                break
+        return eps_lb
+
+    def out_of_time(self) -> bool:
+        return self.deadline is not None and time.perf_counter() > self.deadline
+
+    # -- the main loop -------------------------------------------------------
+
+    def run(self) -> dict:
+        """Drive the queue to a verdict; returns the result summary."""
+        refuted_eps: np.ndarray | None = None
+        root_item = self.evaluate(self.root, depth=0)
+        self.root_bounds = root_item.bounds
+        heap: list[_QueueItem] = []
+        if float(root_item.eps_ub.max()) <= self.epsilon:
+            self.proved.append((root_item.box, root_item.eps_ub, root_item.bounds))
+            self.proved_by_bounds += 1
+        else:
+            heap.append(root_item)
+
+        while heap and refuted_eps is None:
+            if self.out_of_time():
+                self.undecided.extend((i.box, i.eps_ub) for i in heap)
+                heap.clear()
+                break
+            item = heapq.heappop(heap)
+            eps_lb = self.attack(item.box)
+            if float(eps_lb.max()) > self.epsilon:
+                refuted_eps = eps_lb
+                break
+            at_leaf = (
+                item.depth >= self.config.max_depth
+                or float(item.box.width().max()) <= self.config.min_width
+                or self.domains >= self.config.max_domains
+            )
+            if at_leaf:
+                self.milp_leaves.append(
+                    _Leaf(item.box, item.bounds, item.eps_ub, item.depth)
+                )
+                continue
+            dim = _split_dimension(
+                self.layers, item.box, int(np.argmax(item.eps_ub))
+            )
+            self.bisections += 1
+            for child in _bisect(item.box, dim):
+                child_item = self.evaluate(child, item.depth + 1)
+                if float(child_item.eps_ub.max()) <= self.epsilon:
+                    self.proved.append(
+                        (child_item.box, child_item.eps_ub, child_item.bounds)
+                    )
+                    self.proved_by_bounds += 1
+                else:
+                    heapq.heappush(heap, child_item)
+
+        witness = None
+        witness_eps = refuted_eps
+        if refuted_eps is not None:
+            # Whatever is still queued never got decided; that is fine —
+            # one concrete witness refutes the whole query.
+            self.undecided.extend((i.box, i.eps_ub) for i in heap)
+        else:
+            extra = (
+                self.base if self.kind == "local" else (self.delta, self.domain)
+            )
+            outcomes = _solve_leaves(
+                self.kind, self.layers, self.milp_leaves, extra,
+                self.config, self.deadline,
+            )
+            for leaf, outcome in zip(self.milp_leaves, outcomes):
+                if outcome is None:
+                    self.undecided.append((leaf.box, leaf.eps_ub))
+                    continue
+                self.milp_limit_hits += outcome.limit_hits
+                # The leaf's interval bound stays valid; intersect.
+                eps = np.minimum(outcome.eps, leaf.eps_ub)
+                if (
+                    outcome.witness_eps is not None
+                    and float(outcome.witness_eps.max()) > self.epsilon
+                ):
+                    witness_eps = outcome.witness_eps
+                    witness = outcome.witness
+                    refuted_eps = outcome.witness_eps
+                    break
+                if float(eps.max()) <= self.epsilon:
+                    self.proved.append((leaf.box, eps, leaf.bounds))
+                else:
+                    # A sound bound above ε that no witness confirms:
+                    # only possible for a resource-limited leaf solve
+                    # (an exact solve above ε yields a witness).
+                    self.undecided.append((leaf.box, eps))
+
+        if refuted_eps is not None:
+            verdict = "refuted"
+            epsilons = witness_eps
+        elif self.undecided:
+            verdict = "undecided"
+            epsilons = self._sound_upper_bound()
+        else:
+            verdict = "certified"
+            epsilons = self._sound_upper_bound()
+        return {
+            "verdict": verdict,
+            "epsilons": np.asarray(epsilons, dtype=float),
+            "witness": witness,
+            "solve_time": time.perf_counter() - self.t0,
+        }
+
+    def _sound_upper_bound(self) -> np.ndarray:
+        """Per-output max over all terminal subdomains' sound bounds."""
+        parts = [eps for _, eps, _ in self.proved]
+        parts += [eps for _, eps in self.undecided]
+        return np.max(np.stack(parts), axis=0)
+
+    def detail(self, verdict: str) -> dict:
+        info = {
+            "verdict": verdict,
+            "epsilon": self.epsilon,
+            "bounds": self.config.bounds,
+            "domains": self.domains,
+            "bisections": self.bisections,
+            "proved_by_bounds": self.proved_by_bounds,
+            "milp_leaves": len(self.milp_leaves),
+            "milp_limit_hits": self.milp_limit_hits,
+            "undecided": len(self.undecided),
+        }
+        if self.config.record_boxes:
+            terminal = [box for box, _, _ in self.proved]
+            terminal += [box for box, _ in self.undecided]
+            info["leaf_boxes"] = [
+                (box.lo.copy(), box.hi.copy()) for box in terminal
+            ]
+        return info
+
+
+def certify_local_split(
+    network: Network | list[AffineLayer],
+    center: np.ndarray,
+    delta: float,
+    epsilon: float,
+    domain: Box | None = None,
+    config: SplitConfig | None = None,
+) -> LocalCertificate:
+    """Decide a local ε-robustness query by input-splitting B&B.
+
+    Branch-and-bound over sub-boxes of the δ-ball around ``center``:
+    symbolic bounds prove subdomains, gradient-corner attacks refute the
+    query, undecided subdomains bisect until they drop to binary-sparse
+    MILP leaves.  Verdict semantics match :func:`presolve_local` —
+    ``detail["verdict"]`` is ``"certified"``, ``"refuted"`` or (only
+    when the deadline interrupts) ``"undecided"``.
+
+    Returns:
+        A ``method="split"`` :class:`LocalCertificate`.  ``exact`` is
+        True iff the verdict is decided (not ``"undecided"``); on
+        ``"refuted"`` the ``epsilons`` are concrete witness *lower*
+        bounds, otherwise sound upper bounds over the whole ball.
+    """
+    config = config or SplitConfig()
+    layers = as_affine_chain(network)
+    center = np.asarray(center, dtype=float).reshape(-1)
+    ball = perturbation_ball(center, delta, domain)
+    base = affine_chain_forward(layers, center)
+    run = _SplitRun(
+        "local", layers, ball, epsilon, config, base=base
+    )
+    result = run.run()
+    detail = run.detail(result["verdict"])
+    if result["witness"] is not None:
+        detail["witness"] = result["witness"]
+    if result["verdict"] == "certified":
+        # Every terminal subdomain was proved and the subdomains tile
+        # the ball, so the hull of their output boxes encloses F(ball).
+        out_boxes = [bounds.output for _, _, bounds in run.proved]
+        hull = out_boxes[0]
+        for box in out_boxes[1:]:
+            hull = hull.union_hull(box)
+        out_lo, out_hi = hull.lo, hull.hi
+    else:
+        # Refuted / undecided runs have terminal subdomains whose output
+        # was never enclosed (or only lower-bounded); the only sound
+        # range is the root propagation's output box.
+        out_lo = run.root_bounds.output.lo.copy()
+        out_hi = run.root_bounds.output.hi.copy()
+    return LocalCertificate(
+        center=center,
+        delta=float(delta),
+        epsilons=result["epsilons"],
+        output_lo=out_lo,
+        output_hi=out_hi,
+        method="split",
+        exact=result["verdict"] != "undecided",
+        solve_time=result["solve_time"],
+        detail=detail,
+    )
+
+
+def certify_global_split(
+    network: Network | list[AffineLayer],
+    domain: Box,
+    delta: float,
+    epsilon: float,
+    config: SplitConfig | None = None,
+) -> GlobalCertificate:
+    """Decide a global ε-robustness query by input-splitting B&B.
+
+    The first copy's input domain is tiled; each subdomain re-runs the
+    twin symbolic propagation (distance bounds) and the gradient-corner
+    pair attack; MILP leaves encode ITNE over the sub-box with the
+    perturbed copy clipped to the *full* domain, so the union over the
+    tiling is exactly the monolithic Problem 1.
+
+    Returns:
+        A ``method="split"`` :class:`GlobalCertificate` (see
+        :func:`certify_local_split` for verdict / ``exact`` semantics).
+    """
+    config = config or SplitConfig()
+    layers = as_affine_chain(network)
+    run = _SplitRun(
+        "global", layers, domain, epsilon, config, delta=float(delta),
+        domain=domain,
+    )
+    result = run.run()
+    detail = run.detail(result["verdict"])
+    if result["witness"] is not None:
+        detail["witness"] = result["witness"]
+    return GlobalCertificate(
+        delta=float(delta),
+        epsilons=result["epsilons"],
+        method="split",
+        exact=result["verdict"] != "undecided",
+        solve_time=result["solve_time"],
+        milp_count=2 * len(run.milp_leaves) * layers[-1].out_dim,
+        detail=detail,
+    )

@@ -10,6 +10,10 @@ Usage::
     python -m repro attack model.npz --delta 0.01 --samples 20
     python -m repro batch model.npz --delta 0.01 --samples 16 \
         --method exact --workers 4 --epsilon 0.5
+    python -m repro certify model.npz --delta 0.001 --epsilon 0.5 --split \
+        --max-domains 256 --split-depth 10
+    python -m repro batch model.npz --delta 0.01 --samples 16 \
+        --method exact --epsilon 0.5 --split
 
 Models are ``.npz`` snapshots written by
 :func:`repro.nn.serialize.save_network`.
@@ -40,6 +44,18 @@ _BOUNDS_CHOICES = ("ibp", "symbolic")
 def _add_domain_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--lo", type=float, default=0.0, help="domain lower bound")
     parser.add_argument("--hi", type=float, default=1.0, help="domain upper bound")
+
+
+def _add_split_args(parser: argparse.ArgumentParser) -> None:
+    """The input-splitting tier's flags, shared by certify and batch."""
+    parser.add_argument("--split", action="store_true",
+                        help="decide the --epsilon query by input-splitting "
+                        "branch-and-bound instead of one monolithic MILP")
+    parser.add_argument("--max-domains", type=int, default=None,
+                        help="split tier: budget on evaluated subdomains")
+    parser.add_argument("--split-depth", type=int, default=None,
+                        help="split tier: bisection depth at which "
+                        "subdomains drop to MILP leaves")
 
 
 def _positive_seconds(text: str) -> float:
@@ -114,13 +130,19 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="neurons refined per sub-network")
     p_cert.add_argument("--backend", default="scipy",
                         help="scipy | python | python:simplex")
-    p_cert.add_argument("--bounds", choices=_BOUNDS_CHOICES, default="ibp",
+    p_cert.add_argument("--bounds", choices=_BOUNDS_CHOICES, default=None,
                         help="bound propagator seeding big-M ranges / the "
-                        "initial range table (default: ibp)")
+                        "initial range table (default: ibp; the --split "
+                        "tier defaults to symbolic per-subdomain bounds)")
     p_cert.add_argument("--time-limit", type=_positive_seconds, default=None,
                         help="per-MILP time limit in seconds, > 0 "
                         "(default: 30 for algorithm1, unlimited for exact; "
-                        "'inf' disables the limit)")
+                        "'inf' disables the limit; for --split this is "
+                        "the shared deadline of the whole run)")
+    p_cert.add_argument("--epsilon", type=_positive_epsilon, default=None,
+                        help="target variation bound to decide "
+                        "(required by --split)")
+    _add_split_args(p_cert)
 
     p_att = sub.add_parser("attack", help="PGD under-approximation of ε")
     p_att.add_argument("model", help="path to a .npz network snapshot")
@@ -153,9 +175,10 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="worker processes (default: all cores)")
     p_batch.add_argument("--backend", default="scipy",
                          help="scipy | python | python:simplex")
-    p_batch.add_argument("--bounds", choices=_BOUNDS_CHOICES, default="ibp",
-                         help="bound propagator for the MILP tier "
-                         "(default: ibp)")
+    p_batch.add_argument("--bounds", choices=_BOUNDS_CHOICES, default=None,
+                         help="bound propagator for the solver tier "
+                         "(default: ibp for the MILP tier, symbolic for "
+                         "--split)")
     p_batch.add_argument("--epsilon", type=_positive_epsilon, default=None,
                          help="target variation bound; enables the "
                          "bounds-only presolve tier (queries decided by "
@@ -163,6 +186,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--no-presolve", action="store_true",
                          help="force the MILP tier even when --epsilon "
                          "is given")
+    _add_split_args(p_batch)
+    p_batch.add_argument("--time-limit", type=_positive_seconds, default=None,
+                         help="per-query time limit in seconds (for --split "
+                         "queries: the shared deadline of each run)")
     p_batch.add_argument("--seed", type=int, default=0)
     return parser
 
@@ -237,8 +264,37 @@ def _cmd_bounds(args) -> int:
 
 
 def _cmd_certify(args) -> int:
+    from repro.certify import SplitConfig, certify_global_split
+
     net = load_network(args.model)
     domain = Box.uniform(net.input_dim, args.lo, args.hi)
+    if args.split:
+        if args.epsilon is None:
+            print("error: --split needs an --epsilon target to decide",
+                  file=sys.stderr)
+            return 2
+        config = SplitConfig(
+            backend=args.backend,
+            bounds=args.bounds or "symbolic",
+            time_limit=(
+                None if args.time_limit in (None, float("inf"))
+                else args.time_limit
+            ),
+        )
+        if args.max_domains is not None:
+            config.max_domains = args.max_domains
+        if args.split_depth is not None:
+            config.max_depth = args.split_depth
+        cert = certify_global_split(net, domain, args.delta, args.epsilon,
+                                    config=config)
+        print(cert.summary())
+        print(f"verdict: {cert.verdict} (epsilon target {args.epsilon:g}; "
+              f"{cert.detail['domains']} subdomains, "
+              f"{cert.detail['proved_by_bounds']} proved by bounds, "
+              f"{cert.detail['milp_leaves']} MILP leaves)")
+        for j, eps in enumerate(cert.epsilons):
+            print(f"  output {j}: eps = {eps:.6g}")
+        return 0
     if args.method == "algorithm1":
         # `is not None`, not truthiness: an explicit small limit (e.g.
         # 0.25) must be honored, and `inf` means "no limit".
@@ -247,18 +303,18 @@ def _cmd_certify(args) -> int:
             window=args.window,
             refine_count=args.refine,
             backend=args.backend,
-            bounds=args.bounds,
+            bounds=args.bounds or "ibp",
             milp_time_limit=None if limit == float("inf") else limit,
         )
         cert = GlobalRobustnessCertifier(net, config).certify(domain, args.delta)
     elif args.method == "exact":
         limit = args.time_limit
         cert = certify_exact_global(
-            net, domain, args.delta, backend=args.backend, bounds=args.bounds,
+            net, domain, args.delta, backend=args.backend, bounds=args.bounds or "ibp",
             time_limit=None if limit in (None, float("inf")) else limit,
         )
     else:
-        cert = ReluplexStyleSolver(backend=args.backend, bounds=args.bounds).certify(
+        cert = ReluplexStyleSolver(backend=args.backend, bounds=args.bounds or "ibp").certify(
             net, domain, args.delta
         )
     print(cert.summary())
@@ -295,11 +351,20 @@ def _cmd_batch(args) -> int:
     else:
         rng = np.random.default_rng(args.seed)
         samples = domain.sample(rng, args.samples)
+    if args.split and args.epsilon is None:
+        print("error: --split needs an --epsilon target to decide",
+              file=sys.stderr)
+        return 2
+    if args.split and args.method != "exact":
+        print("error: --split applies to --method exact only", file=sys.stderr)
+        return 2
     queries = local_queries(
         net, samples, args.delta,
         method=args.method, domain=domain, backend=args.backend,
         window=args.window, epsilon=args.epsilon, bounds=args.bounds,
-        presolve=not args.no_presolve,
+        presolve=not args.no_presolve, split=args.split,
+        max_domains=args.max_domains, split_depth=args.split_depth,
+        time_limit=args.time_limit,
     )
     engine = BatchCertifier(max_workers=args.workers)
     results = engine.run(
@@ -339,6 +404,14 @@ def _cmd_batch(args) -> int:
         if args.epsilon is not None:
             print(f"presolve tier answered {presolved}/{len(ok)} queries "
                   "without a MILP")
+        if args.split:
+            split_results = [r for r in ok if r.certificate.method == "split"]
+            decided = sum(
+                1 for r in split_results
+                if r.certificate.verdict != "undecided"
+            )
+            print(f"split tier decided {decided}/{len(split_results)} "
+                  "escalated queries")
     for r in failures:
         print(f"\nquery {r.tag} failed:\n{r.error}", file=sys.stderr)
     return 1 if failures else 0

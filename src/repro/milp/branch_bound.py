@@ -168,6 +168,15 @@ class BranchBoundBackend:
                     heap,
                 )
             node = heapq.heappop(heap)
+            if mip_gap is not None and incumbent_x is not None:
+                # Best-first order makes the popped node's bound THE
+                # best open bound right now — no heap scan needed.  The
+                # gap is checked on every pop (not only after incumbent
+                # updates), so a slowly-improving bound also terminates.
+                gap = abs(incumbent_obj - node.bound) / max(1.0, abs(incumbent_obj))
+                if gap <= mip_gap:
+                    heapq.heappush(heap, node)  # keep the bound sound
+                    break
             if node.bound >= incumbent_obj - 1e-12:
                 continue  # pruned by bound
             status, obj, x = self._solve_relaxation(
@@ -181,7 +190,7 @@ class BranchBoundBackend:
                 incumbent_obj = obj
                 incumbent_x = x
                 if mip_gap is not None and heap:
-                    best_bound = min(n.bound for n in heap)
+                    best_bound = heap[0].bound  # heap is ordered by bound
                     gap = abs(incumbent_obj - best_bound) / max(1.0, abs(incumbent_obj))
                     if gap <= mip_gap:
                         break
@@ -205,14 +214,14 @@ class BranchBoundBackend:
     @staticmethod
     def _most_fractional(x: np.ndarray, int_cols: np.ndarray) -> int | None:
         """Column with fractional part closest to 0.5, or None if integral."""
-        best_col = None
-        best_frac_dist = _INT_TOL  # distance from the nearest integer
-        for col in int_cols:
-            frac_dist = abs(x[col] - round(x[col]))
-            if frac_dist > best_frac_dist:
-                best_frac_dist = frac_dist
-                best_col = int(col)
-        return best_col
+        if int_cols.size == 0:
+            return None
+        vals = x[int_cols]
+        frac_dist = np.abs(vals - np.round(vals))  # distance from nearest int
+        best = int(np.argmax(frac_dist))
+        if frac_dist[best] <= _INT_TOL:
+            return None
+        return int(int_cols[best])
 
     @staticmethod
     def _finish(obj, x, nodes, fail_status, heap) -> SolveResult:

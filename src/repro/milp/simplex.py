@@ -2,10 +2,16 @@
 
 This exists so that the repository is self-contained: the branch-and-bound
 MILP solver (:mod:`repro.milp.branch_bound`) can run entirely without
-scipy's HiGHS if asked to.  It is a teaching-quality implementation —
-dense tableau, Bland's anti-cycling rule — and is only intended for the
-small LPs that appear in tests and in sub-network certification of tiny
-networks.  The default pipeline uses HiGHS.
+scipy's HiGHS if asked to.  It is a compact dense-tableau implementation
+only intended for the small LPs that appear in tests and in sub-network
+certification of tiny networks.  The default pipeline uses HiGHS.
+
+Pivoting uses vectorized **Dantzig pricing** (most-negative reduced
+cost) with a vectorized ratio test; after a streak of degenerate pivots
+it falls back to **Bland's rule** (first negative column, smallest basis
+index on ties) until progress resumes, which restores the anti-cycling
+guarantee Dantzig alone lacks.  ``pricing="bland"`` forces the old
+always-Bland behaviour — kept for the iteration-count benchmark tests.
 
 The entry point :func:`solve_lp` accepts the same standard form exported
 by :meth:`repro.milp.model.Model.to_standard_form`.
@@ -22,6 +28,10 @@ from repro.milp.solution import SolveStatus
 
 _BIG = 1e15
 
+#: Consecutive degenerate (zero-step) Dantzig pivots tolerated before
+#: switching to Bland's rule; a non-degenerate pivot switches back.
+_DEGENERATE_STREAK = 12
+
 
 @dataclass
 class LpResult:
@@ -30,6 +40,7 @@ class LpResult:
     status: SolveStatus
     objective: float
     x: np.ndarray
+    iterations: int = 0
 
 
 def solve_lp(
@@ -41,6 +52,7 @@ def solve_lp(
     bounds: list[tuple[float, float]],
     max_iter: int = 20000,
     tol: float = 1e-9,
+    pricing: str = "dantzig",
 ) -> LpResult:
     """Minimize ``c @ x`` subject to inequality/equality rows and bounds.
 
@@ -52,9 +64,17 @@ def solve_lp(
     representation :meth:`Model.to_standard_form(sparse=True)` exports);
     sparse input is densified on entry since the tableau is dense anyway.
 
+    Args:
+        pricing: ``"dantzig"`` (default; most-negative reduced cost with
+            Bland fallback after a degenerate streak) or ``"bland"``
+            (always Bland — slower, used as the pricing baseline).
+
     Returns:
-        An :class:`LpResult`; ``x`` has the caller's variable order.
+        An :class:`LpResult`; ``x`` has the caller's variable order and
+        ``iterations`` counts the simplex pivots across both phases.
     """
+    if pricing not in ("dantzig", "bland"):
+        raise ValueError(f"unknown pricing rule {pricing!r}")
     # Accept either matrix representation without importing scipy.
     if hasattr(a_ub, "toarray"):
         a_ub = a_ub.toarray()
@@ -164,15 +184,23 @@ def solve_lp(
             b[i] *= -1.0
 
     total_cols = a_full.shape[1]
-    status, basis, tableau = _phase1(a_full, b, max_iter, tol)
+    status, basis, tableau, iters1 = _phase1(a_full, b, max_iter, tol, pricing)
     if status is not SolveStatus.OPTIMAL:
-        return LpResult(status, math.nan, np.empty(0))
+        return LpResult(status, math.nan, np.empty(0), iterations=iters1)
 
     c_full = np.zeros(total_cols)
     c_full[: len(c_std)] = c_std
-    status, basis, tableau = _phase2(tableau, basis, c_full, total_cols, max_iter, tol)
+    status, basis, tableau, iters2 = _phase2(
+        tableau, basis, c_full, total_cols, max_iter, tol, pricing
+    )
+    iterations = iters1 + iters2
     if status is not SolveStatus.OPTIMAL:
-        return LpResult(status, math.nan if status is not SolveStatus.UNBOUNDED else -math.inf, np.empty(0))
+        return LpResult(
+            status,
+            math.nan if status is not SolveStatus.UNBOUNDED else -math.inf,
+            np.empty(0),
+            iterations=iterations,
+        )
 
     z = np.zeros(total_cols)
     for row_idx, col in enumerate(basis):
@@ -188,10 +216,10 @@ def solve_lp(
         else:
             x[j] = z[col] - z[col + 1]
     objective = float(c @ x)
-    return LpResult(SolveStatus.OPTIMAL, objective, x)
+    return LpResult(SolveStatus.OPTIMAL, objective, x, iterations=iterations)
 
 
-def _phase1(a: np.ndarray, b: np.ndarray, max_iter: int, tol: float):
+def _phase1(a: np.ndarray, b: np.ndarray, max_iter: int, tol: float, pricing: str):
     """Find an initial basic feasible solution with artificial variables."""
     m, cols = a.shape
     tableau = np.hstack([a, np.eye(m), b.reshape(-1, 1)])
@@ -201,11 +229,11 @@ def _phase1(a: np.ndarray, b: np.ndarray, max_iter: int, tol: float):
     obj[cols : cols + m] = 1.0
     for i in range(m):
         obj -= tableau[i]
-    status = _iterate(tableau, basis, obj, cols + m, max_iter, tol)
+    status, iters = _iterate(tableau, basis, obj, cols + m, max_iter, tol, pricing)
     if status is not SolveStatus.OPTIMAL:
-        return status, basis, tableau
+        return status, basis, tableau, iters
     if -obj[-1] > 1e-7:
-        return SolveStatus.INFEASIBLE, basis, tableau
+        return SolveStatus.INFEASIBLE, basis, tableau, iters
     # Pivot artificials out of the basis where possible.
     for row_idx, col in enumerate(basis):
         if col >= cols:
@@ -216,10 +244,10 @@ def _phase1(a: np.ndarray, b: np.ndarray, max_iter: int, tol: float):
                 _pivot(tableau, obj, basis, row_idx, pivot_col)
     keep = list(range(cols)) + [tableau.shape[1] - 1]
     tableau = tableau[:, keep]
-    return SolveStatus.OPTIMAL, basis, tableau
+    return SolveStatus.OPTIMAL, basis, tableau, iters
 
 
-def _phase2(tableau, basis, c_full, cols, max_iter, tol):
+def _phase2(tableau, basis, c_full, cols, max_iter, tol, pricing):
     """Optimize the true objective from the phase-1 basis."""
     m = tableau.shape[0]
     obj = np.zeros(cols + 1)
@@ -228,31 +256,48 @@ def _phase2(tableau, basis, c_full, cols, max_iter, tol):
         col = basis[i]
         if col < cols and abs(obj[col]) > 0:
             obj -= obj[col] * tableau[i]
-    status = _iterate(tableau, basis, obj, cols, max_iter, tol)
-    return status, basis, tableau
+    status, iters = _iterate(tableau, basis, obj, cols, max_iter, tol, pricing)
+    return status, basis, tableau, iters
 
 
-def _iterate(tableau, basis, obj, cols, max_iter, tol) -> SolveStatus:
-    """Primal simplex iterations with Bland's rule (shared by phases)."""
+def _iterate(
+    tableau, basis, obj, cols, max_iter, tol, pricing: str = "dantzig"
+) -> tuple[SolveStatus, int]:
+    """Primal simplex iterations (shared by phases); returns pivot count.
+
+    Entering column: vectorized Dantzig pricing (most-negative reduced
+    cost), falling back to Bland's first-negative rule after
+    :data:`_DEGENERATE_STREAK` consecutive zero-step pivots (and back to
+    Dantzig once a pivot makes progress).  Leaving row: vectorized ratio
+    test, smallest basis index among the minimal ratios (Bland's
+    tie-break, which the fallback needs for its anti-cycling guarantee).
+    """
     m = tableau.shape[0]
-    for _ in range(max_iter):
-        entering = next((j for j in range(cols) if obj[j] < -tol), None)
-        if entering is None:
-            return SolveStatus.OPTIMAL
-        ratios = []
-        for i in range(m):
-            a_ij = tableau[i, entering]
-            if a_ij > tol:
-                ratios.append((tableau[i, -1] / a_ij, basis[i], i))
-        if not ratios:
-            return SolveStatus.UNBOUNDED
-        # Bland: among minimal ratios, leave with the smallest basis index.
-        min_ratio = min(r[0] for r in ratios)
-        leaving_row = min(
-            (r for r in ratios if r[0] <= min_ratio + tol), key=lambda r: r[1]
-        )[2]
+    degenerate_streak = 0
+    for iteration in range(max_iter):
+        reduced = obj[:cols]
+        use_bland = pricing == "bland" or degenerate_streak >= _DEGENERATE_STREAK
+        if use_bland:
+            negative = np.flatnonzero(reduced < -tol)
+            if negative.size == 0:
+                return SolveStatus.OPTIMAL, iteration
+            entering = int(negative[0])
+        else:
+            entering = int(np.argmin(reduced))
+            if reduced[entering] >= -tol:
+                return SolveStatus.OPTIMAL, iteration
+        column = tableau[:, entering]
+        eligible = column > tol
+        if not eligible.any():
+            return SolveStatus.UNBOUNDED, iteration
+        ratios = np.full(m, math.inf)
+        ratios[eligible] = tableau[eligible, -1] / column[eligible]
+        min_ratio = float(ratios.min())
+        ties = np.flatnonzero(ratios <= min_ratio + tol)
+        leaving_row = int(ties[np.argmin(np.asarray(basis)[ties])])
+        degenerate_streak = 0 if min_ratio > tol else degenerate_streak + 1
         _pivot(tableau, obj, basis, leaving_row, entering)
-    return SolveStatus.ITERATION_LIMIT
+    return SolveStatus.ITERATION_LIMIT, max_iter
 
 
 def _pivot(tableau, obj, basis, row: int, col: int) -> None:

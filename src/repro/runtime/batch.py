@@ -64,7 +64,10 @@ class CertificationQuery:
             ``None`` means "use the engine default"
             (:data:`DEFAULT_GLOBAL_TIME_LIMIT`, 30 s) — it does NOT
             disable the safeguard.  Pass ``math.inf`` for an explicitly
-            unlimited solve; non-positive values are rejected.
+            unlimited solve; non-positive values are rejected.  Split
+            queries differ: there it is the *shared whole-run* deadline
+            and ``None`` stays unlimited, matching the monolithic exact
+            certifiers whose verdicts the split tier must reproduce.
         epsilon: Optional target variation bound.  When set, the
             presolve tier runs first: if symbolic bounds prove (or the
             attack gap refutes) ``ε ≤ epsilon``, the query is answered
@@ -72,10 +75,30 @@ class CertificationQuery:
             built.  Undecided queries fall through to the usual solver
             path, whose certificates are bit-identical to a run without
             presolve.
-        bounds: Bound propagator seeding the MILP tier's big-M ranges
-            (``"ibp"`` default, ``"symbolic"`` for tighter encodings).
+        bounds: Bound propagator seeding the MILP tier's big-M ranges.
+            ``None`` (default) resolves per tier — ``"ibp"`` for the
+            monolithic MILP (keeps historic results bit-identical),
+            ``"symbolic"`` for the split tier's per-subdomain bounds;
+            an explicit name is honored everywhere.
         presolve: Disable the presolve tier (``False``) even when an
             ``epsilon`` target is present.
+        split: Replace the monolithic MILP tier with the input-splitting
+            branch-and-bound tier (:mod:`repro.certify.splitting`) for
+            queries the presolve tier leaves undecided.  Requires an
+            ``epsilon`` target and kind ``local-exact`` or
+            ``global-exact``.  For split queries ``time_limit`` is the
+            *shared* deadline of the whole query (bounding + leaf MILPs)
+            rather than a per-MILP limit, and ``None`` stays unlimited.
+        max_domains: Split tier: budget on evaluated subdomains
+            (``None`` = the :class:`~repro.certify.splitting.SplitConfig`
+            default).
+        split_depth: Split tier: bisection depth at which subdomains
+            drop to MILP leaves (``None`` = config default).
+        split_workers: Split tier: process count for solving leaf MILPs
+            concurrently.  Leave ``None``: the engine grants its own
+            worker budget when the split query runs inline (a batch of
+            one), and keeps leaves serial when many queries already fan
+            out across the pool.
         shared_bounds: Engine-managed cache slot: a pre-computed
             :class:`~repro.bounds.propagator.LayerBounds` for this
             query's input box, shared across the batch by
@@ -93,8 +116,12 @@ class CertificationQuery:
     backend: str = "scipy"
     time_limit: float | None = None
     epsilon: float | None = None
-    bounds: str = "ibp"
+    bounds: str | None = None
     presolve: bool = True
+    split: bool = False
+    max_domains: int | None = None
+    split_depth: int | None = None
+    split_workers: int | None = None
     shared_bounds: LayerBounds | None = None
     tag: str = ""
 
@@ -120,6 +147,16 @@ class CertificationQuery:
             raise ValueError(f"{self.kind!r} query needs a center sample")
         if self.kind.startswith("global") and self.domain is None:
             raise ValueError(f"{self.kind!r} query needs an input domain")
+        if self.split:
+            if self.epsilon is None:
+                raise ValueError(
+                    "split queries need an epsilon target to decide"
+                )
+            if self.kind not in ("local-exact", "global-exact"):
+                raise ValueError(
+                    "split tier replaces the exact MILP tier only "
+                    f"(kind 'local-exact' or 'global-exact', got {self.kind!r})"
+                )
 
     def presolve_input_box(self) -> Box:
         """The input box the presolve tier propagates bounds over."""
@@ -132,6 +169,18 @@ class CertificationQuery:
     def wants_presolve(self) -> bool:
         """Whether the presolve tier applies to this query."""
         return self.epsilon is not None and self.presolve
+
+    def effective_bounds(self) -> str:
+        """The bound propagator actually used by this query's solver tier.
+
+        An explicit choice always wins; the ``None`` default resolves
+        to ``"ibp"`` for the monolithic MILP tier and ``"symbolic"``
+        for the split tier (whose whole point is tight per-subdomain
+        bounds).
+        """
+        if self.bounds is not None:
+            return self.bounds
+        return "symbolic" if self.split else "ibp"
 
     def effective_time_limit(self) -> float | None:
         """The per-MILP limit actually applied to a global query.
@@ -188,6 +237,36 @@ def _try_presolve(query: CertificationQuery):
     )
 
 
+def _run_split(query: CertificationQuery):
+    """Run the input-splitting tier for an undecided ε-query."""
+    from repro.certify import SplitConfig, certify_global_split, certify_local_split
+
+    # `time_limit=None` stays unlimited — parity with the monolithic
+    # `certify_local_exact`/`certify_exact_global` verdicts this tier
+    # must reproduce; a set limit is the shared whole-run deadline.
+    time_limit = query.time_limit
+    if time_limit is not None and math.isinf(time_limit):
+        time_limit = None
+    config = SplitConfig(
+        backend=query.backend,
+        bounds=query.effective_bounds(),
+        time_limit=time_limit,
+        leaf_workers=query.split_workers,
+    )
+    if query.max_domains is not None:
+        config.max_domains = query.max_domains
+    if query.split_depth is not None:
+        config.max_depth = query.split_depth
+    if query.kind == "local-exact":
+        return certify_local_split(
+            query.layers, query.center, query.delta, query.epsilon,
+            domain=query.domain, config=config,
+        )
+    return certify_global_split(
+        query.layers, query.domain, query.delta, query.epsilon, config=config
+    )
+
+
 def _execute_query(query: CertificationQuery):
     """Dispatch one query: presolve tier first, then the solver tier."""
     from repro.certify import (
@@ -204,21 +283,24 @@ def _execute_query(query: CertificationQuery):
         if cert is not None:
             return cert
 
+    if query.split:
+        return _run_split(query)
+
     if query.kind == "local-exact":
         return certify_local_exact(
             query.layers, query.center, query.delta,
-            domain=query.domain, backend=query.backend, bounds=query.bounds,
+            domain=query.domain, backend=query.backend, bounds=query.effective_bounds(),
         )
     if query.kind == "local-nd":
         return certify_local_nd(
             query.layers, query.center, query.delta,
             window=query.window, domain=query.domain, backend=query.backend,
-            bounds=query.bounds,
+            bounds=query.effective_bounds(),
         )
     if query.kind == "local-lpr":
         return certify_local_lpr(
             query.layers, query.center, query.delta,
-            domain=query.domain, backend=query.backend, bounds=query.bounds,
+            domain=query.domain, backend=query.backend, bounds=query.effective_bounds(),
         )
     if query.kind == "global":
         # The CLI's algorithm-1 knobs (window, refine, backend, limit)
@@ -227,7 +309,7 @@ def _execute_query(query: CertificationQuery):
             window=query.window,
             refine_count=query.refine_count,
             backend=query.backend,
-            bounds=query.bounds,
+            bounds=query.effective_bounds(),
             milp_time_limit=query.effective_time_limit(),
         )
         return GlobalRobustnessCertifier(query.layers, config).certify(
@@ -237,7 +319,7 @@ def _execute_query(query: CertificationQuery):
     return certify_exact_global(
         query.layers, query.domain, query.delta,
         backend=query.backend, time_limit=query.effective_time_limit(),
-        bounds=query.bounds,
+        bounds=query.effective_bounds(),
     )
 
 
@@ -356,6 +438,11 @@ class BatchCertifier:
         workers = self.max_workers or os.cpu_count() or 1
         workers = min(workers, total)
         if workers == 1:
+            if total == 1 and queries[0].split and queries[0].split_workers is None:
+                # A batch of one split query runs inline; hand the
+                # engine's process budget to its leaf MILPs instead so
+                # the pool still does the parallel work.
+                queries[0].split_workers = self.max_workers or os.cpu_count() or 1
             return self._run_serial(queries, progress)
         try:
             return self._run_pool(queries, workers, progress)
@@ -409,8 +496,12 @@ def local_queries(
     backend: str = "scipy",
     window: int = 1,
     epsilon: float | None = None,
-    bounds: str = "ibp",
+    bounds: str | None = None,
     presolve: bool = True,
+    split: bool = False,
+    max_domains: int | None = None,
+    split_depth: int | None = None,
+    time_limit: float | None = None,
     tag_prefix: str = "sample",
 ) -> list[CertificationQuery]:
     """Per-sample local certification queries (one per row of ``centers``).
@@ -428,10 +519,19 @@ def local_queries(
         bounds: Bound propagator for the MILP tier (``"ibp"`` /
             ``"symbolic"``).
         presolve: Allow the presolve tier when ``epsilon`` is set.
+        split: Use the input-splitting tier instead of the monolithic
+            MILP for presolve-undecided queries (``method="exact"``
+            only; needs ``epsilon``).
+        max_domains / split_depth: Split-tier knobs (``None`` = config
+            defaults).
+        time_limit: Per-query time limit; for split queries the shared
+            deadline of the whole branch-and-bound run.
         tag_prefix: Result tags become ``f"{tag_prefix}[{i}]"``.
     """
     if method not in ("exact", "nd", "lpr"):
         raise ValueError(f"unknown local method {method!r}")
+    if split and method != "exact":
+        raise ValueError("split applies to method='exact' queries only")
     layers = _normal_form(network)
     return [
         CertificationQuery(
@@ -445,6 +545,10 @@ def local_queries(
             epsilon=epsilon,
             bounds=bounds,
             presolve=presolve,
+            split=split,
+            max_domains=max_domains,
+            split_depth=split_depth,
+            time_limit=time_limit,
             tag=f"{tag_prefix}[{i}]",
         )
         for i, center in enumerate(np.atleast_2d(np.asarray(centers, dtype=float)))
@@ -461,16 +565,24 @@ def global_query(
     time_limit: float | None = None,
     exact: bool = False,
     epsilon: float | None = None,
-    bounds: str = "ibp",
+    bounds: str | None = None,
     presolve: bool = True,
+    split: bool = False,
+    max_domains: int | None = None,
+    split_depth: int | None = None,
     tag: str = "global",
 ) -> CertificationQuery:
     """One global certification query (Algorithm 1, or the exact MILP).
 
     ``time_limit=None`` (the default) applies the engine's 30 s per-MILP
     safeguard; pass ``math.inf`` to disable it explicitly.  An
-    ``epsilon`` target enables the bounds-only presolve tier.
+    ``epsilon`` target enables the bounds-only presolve tier;
+    ``split=True`` (requires ``exact=True`` and ``epsilon``) decides
+    undecided queries with the input-splitting tier, for which
+    ``time_limit`` is the shared deadline of the whole run.
     """
+    if split and not exact:
+        raise ValueError("split applies to exact global queries only")
     return CertificationQuery(
         kind="global-exact" if exact else "global",
         layers=_normal_form(network),
@@ -483,6 +595,9 @@ def global_query(
         epsilon=epsilon,
         bounds=bounds,
         presolve=presolve,
+        split=split,
+        max_domains=max_domains,
+        split_depth=split_depth,
         tag=tag,
     )
 

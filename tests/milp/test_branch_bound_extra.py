@@ -70,6 +70,27 @@ class TestBranchBoundEdgeCases:
         assert r.is_optimal or r.status is SolveStatus.ITERATION_LIMIT
         assert r.objective >= 1.0  # found something reasonable
 
+    def test_mip_gap_checked_on_pop_keeps_bound_sound(self):
+        """A loose gap exits as soon as any incumbent exists, with the
+        popped node pushed back so the reported dual bound stays sound
+        (here maximization: bound >= objective)."""
+        rng = np.random.default_rng(3)
+        m = Model()
+        xs = [m.add_var(vtype="binary") for _ in range(14)]
+        w = rng.uniform(0.5, 2.0, 14)
+        m.add_constr(sum(float(wi) * x for wi, x in zip(w, xs)) <= 7.03)
+        values = rng.uniform(1.0, 2.0, 14)
+        m.set_objective(
+            sum(float(v) * x for v, x in zip(values, xs)), sense="max"
+        )
+        exact = m.solve(backend="python")
+        loose = m.solve(backend="python", mip_gap=10.0)
+        assert loose.is_optimal  # incumbent reported, gap satisfied
+        assert np.isfinite(loose.bound)
+        assert loose.bound >= loose.objective - 1e-9
+        assert loose.bound >= exact.objective - 1e-9  # sound vs true optimum
+        assert loose.nodes <= exact.nodes  # the early exit actually exits
+
 
 class TestScipyDualBound:
     def test_bound_matches_objective_when_proven(self):

@@ -68,6 +68,28 @@ class TestQueryValidation:
                     center=centers[0], epsilon=bad,
                 )
 
+    def test_split_needs_epsilon(self, layers, centers):
+        with pytest.raises(ValueError, match="epsilon"):
+            CertificationQuery(
+                kind="local-exact", layers=layers, delta=0.1,
+                center=centers[0], split=True,
+            )
+
+    def test_split_needs_exact_kind(self, layers, centers):
+        with pytest.raises(ValueError, match="split"):
+            CertificationQuery(
+                kind="local-lpr", layers=layers, delta=0.1,
+                center=centers[0], epsilon=0.5, split=True,
+            )
+        with pytest.raises(ValueError, match="split"):
+            local_queries(
+                layers, centers, 0.1, method="lpr", epsilon=0.5, split=True
+            )
+        with pytest.raises(ValueError, match="split"):
+            global_query(
+                layers, Box.uniform(3, 0, 1), 0.1, epsilon=0.5, split=True
+            )
+
 
 class TestPresolveTier:
     def test_presolve_answers_without_milp(self, layers, centers):
@@ -124,6 +146,69 @@ class TestPresolveTier:
             assert cert.epsilon > tiny
         else:
             np.testing.assert_allclose(cert.epsilons, exact.epsilons, atol=1e-9)
+
+    def test_split_tier_verdict_matches_monolithic(self, layers, centers):
+        """A split query and the plain MILP answer must agree on ε vs ε."""
+        exact = certify_local_exact(layers, centers[0], 0.05)
+        for factor, expected in ((0.8, "refuted"), (1.2, "certified")):
+            queries = local_queries(
+                layers, centers[:1], 0.05, epsilon=exact.epsilon * factor,
+                split=True, presolve=False,
+            )
+            results = BatchCertifier(max_workers=1).run(queries)
+            cert = results[0].certificate
+            assert cert.method == "split"
+            assert cert.detail["verdict"] == expected
+
+    def test_split_single_query_granted_leaf_workers(self, layers):
+        box = Box.uniform(3, 0.0, 1.0)
+        query = global_query(
+            layers, box, 0.05, exact=True, epsilon=0.05, split=True,
+            presolve=False,
+        )
+        results = BatchCertifier(max_workers=2).run([query])
+        assert results[0].ok
+        assert results[0].certificate.method == "split"
+        assert query.split_workers == 2  # the pool budget moved to leaves
+
+    def test_effective_bounds_resolution(self, layers, centers):
+        """Explicit bounds win; the None default resolves per tier."""
+        base = dict(kind="local-exact", layers=layers, delta=0.1,
+                    center=centers[0], epsilon=0.5)
+        assert CertificationQuery(**base).effective_bounds() == "ibp"
+        assert (
+            CertificationQuery(**base, split=True).effective_bounds()
+            == "symbolic"
+        )
+        assert (
+            CertificationQuery(**base, split=True, bounds="ibp")
+            .effective_bounds()
+            == "ibp"
+        )
+
+    def test_split_default_time_limit_unlimited(self, layers, centers):
+        """A split query without a time limit must never be interrupted
+        (parity with the unlimited monolithic certify_local_exact)."""
+        queries = local_queries(
+            layers, centers[:1], 0.05, epsilon=1e-6, split=True,
+            presolve=False,
+        )
+        results = BatchCertifier(max_workers=1).run(queries)
+        assert results[0].ok
+        assert results[0].certificate.detail["verdict"] != "undecided"
+        assert results[0].certificate.exact
+
+    def test_split_knobs_plumb_through(self, layers, centers):
+        queries = local_queries(
+            layers, centers[:1], 0.05, epsilon=1e-6, split=True,
+            presolve=False, max_domains=5, split_depth=1,
+        )
+        assert queries[0].max_domains == 5
+        assert queries[0].split_depth == 1
+        results = BatchCertifier(max_workers=1).run(queries)
+        cert = results[0].certificate
+        assert cert.detail["verdict"] == "refuted"
+        assert cert.detail["domains"] <= 5 + 2  # budget + final bisection
 
     def test_workers_parity_with_presolve(self, layers, centers):
         queries = lambda: local_queries(layers, centers, 0.05, epsilon=0.05)  # noqa: E731

@@ -126,6 +126,48 @@ class TestCli:
         out = capsys.readouterr().out
         assert "sample[1]" in out and "sample[2]" not in out
 
+    def test_certify_split(self, model_path, capsys):
+        code = main(
+            ["certify", model_path, "--delta", "0.02", "--epsilon", "1000",
+             "--split", "--max-domains", "32", "--split-depth", "6"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[split]" in out
+        assert "verdict: certified" in out
+
+    def test_certify_split_needs_epsilon(self, model_path, capsys):
+        code = main(["certify", model_path, "--delta", "0.02", "--split"])
+        assert code == 2
+        assert "--epsilon" in capsys.readouterr().err
+
+    def test_batch_split(self, model_path, capsys):
+        code = main(
+            ["batch", model_path, "--delta", "0.02", "--samples", "2",
+             "--workers", "1", "--epsilon", "1000", "--split",
+             "--no-presolve"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "split (certified)" in out
+        assert "split tier decided 2/2 escalated queries" in out
+
+    def test_batch_split_needs_epsilon(self, model_path, capsys):
+        code = main(
+            ["batch", model_path, "--delta", "0.02", "--split",
+             "--samples", "2"]
+        )
+        assert code == 2
+        assert "--epsilon" in capsys.readouterr().err
+
+    def test_batch_split_needs_exact_method(self, model_path, capsys):
+        code = main(
+            ["batch", model_path, "--delta", "0.02", "--split",
+             "--epsilon", "1", "--method", "lpr", "--samples", "2"]
+        )
+        assert code == 2
+        assert "exact" in capsys.readouterr().err
+
     def test_batch_epsilon_zero_rejected(self, model_path, capsys):
         with pytest.raises(SystemExit):
             main(["batch", model_path, "--delta", "0.01", "--epsilon", "0"])
