@@ -1,0 +1,325 @@
+"""Benchmark — warm-started solver sessions vs cold per-leaf solves.
+
+The :class:`~repro.milp.session.SolverSession` claim: when the split
+tier solves many MILP leaves that differ only in input-variable bounds,
+one shared session over the *root* encoding re-enters the simplex from
+the previous leaf's basis and skips most pivots that a cold solve pays
+again and again.  Both sides run the **same pure-python simplex**
+(cold: ``python:simplex``, warm: ``python:simplex-warm``), so the pivot
+counts are exactly comparable and fully deterministic.  Two
+measurements:
+
+* **session level** — one big-M encoding, a tiling of the input box
+  into sub-boxes, every output extremum solved per tile through a cold
+  session and through a warm session; optima must agree and total
+  simplex pivots are compared (``pivot_speedup`` — the gated,
+  machine-independent claim; wall time is reported as ``time_ratio``
+  but never gated);
+* **split tier** — presolve-undecided local ε-queries certified by
+  :func:`~repro.certify.splitting.certify_local_split` cold and with
+  ``SplitConfig(warm_start=True)``; every verdict must be identical
+  (gated as exact-match ``verdicts_*`` counts) and the tier-level pivot
+  ratio plus a ``bound_tightness`` ratio (root symbolic bound over the
+  split tier's sound bound) are recorded.
+
+Run standalone (used by CI in smoke mode, no model training needed)::
+
+    PYTHONPATH=src python -m benchmarks.bench_warmstart --smoke
+
+or as part of the benchmark suite::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_warmstart.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from benchmarks.bench_splitting import tiny_chain, undecided_local_epsilon
+from benchmarks.conftest import write_bench_json
+from repro.bounds import Box, get_propagator
+from repro.certify import SplitConfig, certify_local_split
+from repro.certify.presolve import perturbation_ball, variation_from_reference
+from repro.encoding import encode_single_network
+from repro.milp.expr import as_expr
+from repro.nn.affine import affine_chain_forward
+from repro.utils import format_table
+
+#: Cold / warm sides of every comparison: the same B&B backend over the
+#: same pure-python simplex, differing only in basis reuse.
+COLD_BACKEND = "python:simplex"
+WARM_BACKEND = "python:simplex-warm"
+
+
+def tile_box(box: Box, tiles: int) -> list[Box]:
+    """Slice ``box`` into ``tiles`` equal slabs along its widest side."""
+    widths = np.asarray(box.hi, dtype=float) - np.asarray(box.lo, dtype=float)
+    dim = int(np.argmax(widths))
+    edges = np.linspace(float(box.lo[dim]), float(box.hi[dim]), tiles + 1)
+    out = []
+    for k in range(tiles):
+        lo = np.asarray(box.lo, dtype=float).copy()
+        hi = np.asarray(box.hi, dtype=float).copy()
+        lo[dim], hi[dim] = edges[k], edges[k + 1]
+        out.append(Box(lo, hi))
+    return out
+
+
+def session_leaf_resolves(layers, root: Box, tiles: int) -> dict:
+    """Per-tile output extrema: cold session vs warm session.
+
+    Mirrors what the split tier's leaves do — the constraint matrix is
+    the root big-M encoding, each tile only tightens the input-variable
+    bounds — isolated from bounding/attacks so the pivot comparison is
+    pure solver work.
+    """
+    boxes = tile_box(root, tiles)
+
+    def run(backend: str, warm: bool):
+        enc = encode_single_network(layers, root)
+        session = enc.model.open_session(backend=backend, warm_start=warm)
+        objectives = []
+        for handle in enc.output:
+            expr = as_expr(handle)
+            objectives.extend([(expr, "min"), (expr, "max")])
+        optima = []
+        pivots = 0
+        t0 = time.perf_counter()
+        for box in boxes:
+            session.set_var_bounds(enc.input_vars, box.lo, box.hi)
+            for result in session.solve_objectives(objectives):
+                optima.append(result.objective)
+                pivots += result.iterations
+        return time.perf_counter() - t0, pivots, np.asarray(optima)
+
+    t_cold, cold_pivots, cold_opt = run(COLD_BACKEND, warm=False)
+    t_warm, warm_pivots, warm_opt = run(WARM_BACKEND, warm=True)
+    return {
+        "tiles": tiles,
+        "solves": int(cold_opt.size),
+        "cold_pivots": cold_pivots,
+        "warm_pivots": warm_pivots,
+        "pivot_speedup": cold_pivots / max(warm_pivots, 1),
+        "time_cold": t_cold,
+        "time_warm": t_warm,
+        "time_ratio": t_cold / max(t_warm, 1e-9),
+        "optima_agree": bool(
+            np.allclose(cold_opt, warm_opt, rtol=1e-7, atol=1e-7)
+        ),
+        "max_optimum_gap": float(np.abs(cold_opt - warm_opt).max()),
+    }
+
+
+def split_tier_comparison(layers, domain: Box, delta: float, n_queries: int,
+                          seed: int = 0) -> dict:
+    """Warm vs cold split-tier runs on presolve-undecided ε-queries."""
+    rng = np.random.default_rng(seed)
+    sym = get_propagator("symbolic")
+    queries = []
+    for x in domain.sample(rng, 8 * n_queries):
+        # Certify side: the largest presolve-undecided target sits
+        # between the true variation and the root symbolic bound.
+        epsilon = undecided_local_epsilon(layers, x, delta, domain)
+        if epsilon is None:
+            continue
+        queries.append((x, epsilon))
+        # Refute side: a target strictly below a sampled witness's
+        # variation is refutable by construction, so the verdict-count
+        # gate covers both verdict kinds.
+        ball = perturbation_ball(x, delta, domain)
+        base = affine_chain_forward(layers, x)
+        sampled = max(
+            float(np.abs(affine_chain_forward(layers, xh) - base).max())
+            for xh in ball.sample(rng, 64)
+        )
+        if sampled > 0.0:
+            queries.append((x, 0.5 * sampled))
+        if len(queries) >= n_queries:
+            break
+
+    knobs = dict(max_domains=8, max_depth=2, backend=COLD_BACKEND)
+
+    def run(warm: bool):
+        verdicts, pivots, leaves, bounds_ratio = [], 0, 0, []
+        t0 = time.perf_counter()
+        for x, epsilon in queries:
+            cert = certify_local_split(
+                layers, x, delta, epsilon, domain=domain,
+                config=SplitConfig(warm_start=warm, **knobs),
+            )
+            verdicts.append(cert.detail["verdict"])
+            pivots += cert.detail.get("simplex_pivots", 0)
+            leaves += cert.detail["milp_leaves"]
+            if cert.detail["verdict"] == "certified":
+                ball = perturbation_ball(x, delta, domain)
+                out = sym.propagate(layers, ball).output
+                root = variation_from_reference(
+                    out.lo, out.hi, affine_chain_forward(layers, x)
+                )
+                bounds_ratio.append(
+                    float(root.max()) / max(float(cert.epsilon), 1e-12)
+                )
+        elapsed = time.perf_counter() - t0
+        return verdicts, pivots, leaves, bounds_ratio, elapsed
+
+    v_cold, p_cold, l_cold, _, t_cold = run(warm=False)
+    v_warm, p_warm, l_warm, ratio_warm, t_warm = run(warm=True)
+    return {
+        "queries": len(queries),
+        "epsilon_targets": [eps for _, eps in queries],
+        "verdicts_cold": v_cold,
+        "verdicts_warm": v_warm,
+        "verdicts_identical_bool": v_cold == v_warm,
+        "verdicts_certified": v_warm.count("certified"),
+        "verdicts_refuted": v_warm.count("refuted"),
+        "verdicts_undecided": v_warm.count("undecided"),
+        "milp_leaves_cold": l_cold,
+        "milp_leaves_warm": l_warm,
+        "cold_pivots": p_cold,
+        "warm_pivots": p_warm,
+        "split_pivot_speedup": p_cold / max(p_warm, 1),
+        "time_cold": t_cold,
+        "time_warm": t_warm,
+        "time_ratio": t_cold / max(t_warm, 1e-9),
+        "bound_tightness": (
+            float(np.mean(ratio_warm)) if ratio_warm else 0.0
+        ),
+    }
+
+
+def run(smoke: bool, emit=print, write_json=write_bench_json) -> dict:
+    """Execute the bench; returns (and persists) the results dict.
+
+    Smoke results are written under ``smoke_*`` keys so the committed
+    full-mode numbers survive a CI smoke run (the JSON writer merges).
+    """
+    if smoke:
+        rng = np.random.default_rng(7)
+        session_net = tiny_chain(rng, depth=2, width=6, in_dim=3, out_dim=2)
+        session_args = (session_net, Box.uniform(3, 0.0, 1.0), 4)
+        split_rng = np.random.default_rng(11)
+        split_net = tiny_chain(split_rng, depth=2, width=7, in_dim=4,
+                               out_dim=2)
+        split_args = (split_net, Box.uniform(4, 0.0, 1.0), 0.12, 4)
+    else:
+        rng = np.random.default_rng(7)
+        session_net = tiny_chain(rng, depth=3, width=8, in_dim=4, out_dim=2)
+        session_args = (session_net, Box.uniform(4, 0.0, 1.0), 8)
+        split_rng = np.random.default_rng(11)
+        split_net = tiny_chain(split_rng, depth=3, width=8, in_dim=4,
+                               out_dim=2)
+        split_args = (split_net, Box.uniform(4, 0.0, 1.0), 0.12, 6)
+
+    session = session_leaf_resolves(*session_args)
+    split = split_tier_comparison(*split_args)
+
+    emit(
+        format_table(
+            ["level", "solves/queries", "cold pivots", "warm pivots",
+             "pivot speedup", "t cold", "t warm"],
+            [
+                ["session", f"{session['solves']}",
+                 f"{session['cold_pivots']}", f"{session['warm_pivots']}",
+                 f"{session['pivot_speedup']:.1f}x",
+                 f"{session['time_cold']:.2f}s",
+                 f"{session['time_warm']:.2f}s"],
+                ["split tier", f"{split['queries']}",
+                 f"{split['cold_pivots']}", f"{split['warm_pivots']}",
+                 f"{split['split_pivot_speedup']:.1f}x",
+                 f"{split['time_cold']:.2f}s",
+                 f"{split['time_warm']:.2f}s"],
+            ],
+            title="warm-started sessions vs cold solves "
+            f"({COLD_BACKEND} vs {WARM_BACKEND})",
+        )
+    )
+    emit(
+        f"split tier: verdicts "
+        + ("identical" if split["verdicts_identical_bool"] else "DIVERGED")
+        + f" ({split['verdicts_certified']} certified, "
+        f"{split['verdicts_refuted']} refuted, "
+        f"{split['verdicts_undecided']} undecided); "
+        f"bound tightness {split['bound_tightness']:.2f}x root"
+    )
+
+    results = {"session": session, "split": split}
+    payload = (
+        {f"smoke_{key}": value for key, value in results.items()}
+        if smoke
+        else results
+    )
+    if write_json is not None:
+        write_json("warmstart", payload)
+    return results
+
+
+def _check(results: dict, smoke: bool) -> list[str]:
+    """Acceptance checks; returns a list of failure messages."""
+    failures = []
+    session = results["session"]
+    if not session["optima_agree"]:
+        failures.append(
+            "session level: warm optima diverged from cold "
+            f"(max gap {session['max_optimum_gap']:.2e})"
+        )
+    if session["pivot_speedup"] <= 1.0:
+        failures.append(
+            f"session level: warm start saved no pivots "
+            f"({session['cold_pivots']} cold vs {session['warm_pivots']})"
+        )
+    split = results["split"]
+    if split["queries"] == 0:
+        failures.append("split tier: no presolve-undecided queries found")
+    if not split["verdicts_identical_bool"]:
+        failures.append(
+            f"split tier: warm verdicts diverged from cold "
+            f"({split['verdicts_warm']} vs {split['verdicts_cold']})"
+        )
+    if split["milp_leaves_warm"] == 0:
+        failures.append(
+            "split tier: no MILP leaves reached (bounds decided "
+            "everything — warm start untested)"
+        )
+    if split["split_pivot_speedup"] <= 1.0:
+        failures.append(
+            f"split tier: warm start saved no pivots "
+            f"({split['cold_pivots']} cold vs {split['warm_pivots']})"
+        )
+    return failures
+
+
+def test_bench_warmstart(report, json_report):
+    """Benchmark-suite entry: asserts the PR targets in full mode."""
+    results = run(smoke=False, emit=report, write_json=json_report)
+    failures = _check(results, smoke=False)
+    assert not failures, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small random nets (CI mode; no model training)",
+    )
+    args = parser.parse_args(argv)
+    results = run(smoke=args.smoke)
+    failures = _check(results, smoke=args.smoke)
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    if failures:
+        return 1
+    print(
+        f"OK (session pivot speedup "
+        f"{results['session']['pivot_speedup']:.1f}x, split tier "
+        f"{results['split']['split_pivot_speedup']:.1f}x at identical "
+        "verdicts)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,18 @@
-"""Diff two ``BENCH_*.json`` files and gate on speedup regressions.
+"""Diff two ``BENCH_*.json`` files and gate on recorded-claim regressions.
 
 The benchmark suite writes machine-readable ``BENCH_<name>.json`` files
-(uploaded as CI artifacts) whose ``*speedup*`` entries are the recorded
-performance claims of their PRs.  This tool compares a baseline file
-against a fresh one and **fails when any speedup metric regressed by
-more than the threshold** (default 20 %) — speedup *ratios* rather than
-raw timings, so the gate is stable across machines of different speeds.
+(uploaded as CI artifacts) whose metric entries are the recorded claims
+of their PRs.  This tool compares a baseline file against a fresh one
+and fails when a claim regressed.  Three metric classes, keyed by the
+leaf name of each numeric JSON entry:
+
+* ``*speedup*`` / ``*tightness*`` — **ratio claims** (higher is
+  better): fail when the fresh value dropped by more than the threshold
+  (default 20 %).  Ratios rather than raw timings, so the gate is
+  stable across machines of different speeds.
+* ``*verdict*`` — **correctness counts** (e.g. ``verdicts_certified``):
+  fail on ANY change.  A verdict flip between benchmark runs is a
+  soundness signal, not a performance wobble, so no threshold applies.
 
 Usage::
 
@@ -41,6 +48,31 @@ def numeric_leaves(data, prefix=""):
     return leaves
 
 
+def metric_class(path: str) -> str | None:
+    """Gate class of a numeric leaf, from its final name segment.
+
+    ``"ratio"`` (threshold-gated, higher better), ``"verdict"``
+    (exact-match-gated) or ``None`` (not gated — plain timings and
+    problem sizes are recorded but never fail CI).
+    """
+    leaf = path.rsplit(".", 1)[-1].lower()
+    if "speedup" in leaf or "tightness" in leaf:
+        return "ratio"
+    if "verdict" in leaf:
+        return "verdict"
+    return None
+
+
+def gated_metrics(leaves: dict) -> dict:
+    """Every gated leaf: ``{path: (class, value)}``."""
+    metrics = {}
+    for path, value in leaves.items():
+        cls = metric_class(path)
+        if cls is not None:
+            metrics[path] = (cls, value)
+    return metrics
+
+
 def speedup_metrics(leaves: dict) -> dict:
     """The performance claims: every numeric leaf named ``*speedup*``."""
     return {
@@ -51,14 +83,15 @@ def speedup_metrics(leaves: dict) -> dict:
 
 
 def compare(base: dict, fresh: dict, threshold: float) -> tuple[list, list]:
-    """Compare speedup metrics; returns (report_rows, regressions)."""
-    base_metrics = speedup_metrics(numeric_leaves(base))
-    fresh_metrics = speedup_metrics(numeric_leaves(fresh))
+    """Compare gated metrics; returns (report_rows, regressions)."""
+    base_metrics = gated_metrics(numeric_leaves(base))
+    fresh_metrics = gated_metrics(numeric_leaves(fresh))
     rows = []
     regressions = []
     for path in sorted(set(base_metrics) | set(fresh_metrics)):
-        old = base_metrics.get(path)
-        new = fresh_metrics.get(path)
+        cls, old = base_metrics.get(path, (None, None))
+        new_cls, new = fresh_metrics.get(path, (None, None))
+        cls = cls or new_cls
         if old is None:
             rows.append((path, "-", f"{new:.2f}", "new metric"))
             continue
@@ -67,7 +100,11 @@ def compare(base: dict, fresh: dict, threshold: float) -> tuple[list, list]:
             continue
         change = (new - old) / old if old else 0.0
         status = "ok"
-        if new < old * (1.0 - threshold):
+        if cls == "verdict":
+            if new != old:
+                status = f"VERDICT DRIFT ({old:g} -> {new:g})"
+                regressions.append(path)
+        elif new < old * (1.0 - threshold):
             status = f"REGRESSION ({change:+.0%})"
             regressions.append(path)
         elif change:
@@ -93,7 +130,7 @@ def main(argv=None) -> int:
     rows, regressions = compare(base, fresh, args.threshold)
 
     if not rows:
-        print("no speedup metrics found in either file — nothing to gate")
+        print("no gated metrics found in either file — nothing to gate")
         return 0
     width = max(len(r[0]) for r in rows)
     print(f"{'metric':<{width}} | baseline | fresh | status")
@@ -101,12 +138,13 @@ def main(argv=None) -> int:
         print(f"{path:<{width}} | {old:>8} | {new:>5} | {status}")
     if regressions:
         print(
-            f"\nFAIL: {len(regressions)} speedup metric(s) regressed by "
-            f">{args.threshold:.0%}: {', '.join(regressions)}",
+            f"\nFAIL: {len(regressions)} gated metric(s) regressed "
+            f"(ratio threshold {args.threshold:.0%}; verdict counts exact): "
+            f"{', '.join(regressions)}",
             file=sys.stderr,
         )
         return 1
-    print("\nOK: no speedup metric regressed beyond the threshold")
+    print("\nOK: no gated metric regressed")
     return 0
 
 

@@ -204,8 +204,12 @@ class GlobalRobustnessCertifier:
                 max_workers=cfg.workers,
             )
         else:
-            results = enc.model.solve_many(
-                objectives, backend=cfg.backend, time_limit=time_limit
+            # Serial path: one SolverSession per sub-network — the
+            # export is cached once for all 4·m_i objective solves.
+            from repro.milp.session import solve_objectives
+
+            results = solve_objectives(
+                enc.model, objectives, backend=cfg.backend, time_limit=time_limit
             )
 
         rec = table.layer(i)

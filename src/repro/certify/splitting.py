@@ -83,7 +83,15 @@ class SplitConfig:
             verdict is ``"undecided"`` and ``exact=False``.
         leaf_workers: Process count for solving leaf MILPs concurrently
             (``None`` = serial; the batch engine grants its worker
-            budget here when a split query runs inline).
+            budget here when a split query runs inline).  Ignored when
+            ``warm_start`` is set — a warm session is inherently serial.
+        warm_start: Solve all MILP leaves through one shared
+            :class:`~repro.milp.session.SolverSession` over the *root*
+            encoding: each leaf only tightens the input-variable bounds
+            and re-enters the simplex from the previous leaf's basis
+            (backend resolved via the capability registry, i.e.
+            ``python:simplex-warm``).  Identical verdicts to the cold
+            path; ``detail["simplex_pivots"]`` reports the pivots spent.
         record_boxes: Record every terminal subdomain's ``(lo, hi)`` in
             ``detail["leaf_boxes"]`` — the tiling-invariant audit trail
             used by the property tests.
@@ -98,6 +106,7 @@ class SplitConfig:
     bounds: str = "symbolic"
     time_limit: float | None = None
     leaf_workers: int | None = None
+    warm_start: bool = False
     record_boxes: bool = False
     seed: int = 0
 
@@ -155,6 +164,7 @@ class _LeafOutcome:
     limit_hits: int
     witness_eps: np.ndarray | None = None
     witness: np.ndarray | None = None
+    pivots: int = 0
 
 
 def _bisect(box: Box, dim: int) -> tuple[Box, Box]:
@@ -204,6 +214,59 @@ def _per_solve_limit(leaf_budget: float | None, n_solves: int) -> float | None:
     return max(leaf_budget / max(n_solves, 1), 0.05)
 
 
+def _local_outcome(
+    layers: list[AffineLayer],
+    leaf: _Leaf,
+    base: np.ndarray,
+    results,
+    input_vars,
+) -> _LeafOutcome:
+    """Assemble a local leaf's outcome from its 2-per-output solves.
+
+    Shared by the cold (fresh model per leaf) and warm (shared session)
+    paths so the sound-bound intersection and witness extraction cannot
+    drift between them.
+    """
+    out_dim = layers[-1].out_dim
+    interval = leaf.bounds.output
+    lo = np.empty(out_dim)
+    hi = np.empty(out_dim)
+    limit_hits = 0
+    witness = None
+    witness_eps = None
+    for j in range(out_dim):
+        r_lo, r_hi = results[2 * j], results[2 * j + 1]
+        for r in (r_lo, r_hi):
+            if not r.is_optimal and r.status not in _LIMIT_STATUSES:
+                raise RuntimeError(
+                    f"split leaf solve failed on output {j}: "
+                    f"status={r.status.value} ({r.message})"
+                )
+        b_lo = r_lo.sound_bound()
+        b_hi = r_hi.sound_bound()
+        lo[j] = float(interval.lo[j]) if b_lo is None else max(b_lo, float(interval.lo[j]))
+        hi[j] = float(interval.hi[j]) if b_hi is None else min(b_hi, float(interval.hi[j]))
+        limit_hits += (not r_lo.is_optimal) + (not r_hi.is_optimal)
+        # Track the extremal feasible input as a concrete witness.
+        for r in (r_lo, r_hi):
+            if not r.is_optimal:
+                continue
+            x = np.array([r[v] for v in input_vars])
+            eps = np.abs(affine_chain_forward(layers, x) - base)
+            if witness_eps is None or eps.max() > witness_eps.max():
+                witness_eps, witness = eps, x
+    return _LeafOutcome(
+        eps=variation_from_reference(lo, hi, base),
+        out_lo=lo,
+        out_hi=hi,
+        exact=limit_hits == 0,
+        limit_hits=limit_hits,
+        witness_eps=witness_eps,
+        witness=witness,
+        pivots=sum(r.iterations for r in results),
+    )
+
+
 def _solve_local_leaf(
     layers: list[AffineLayer],
     leaf: _Leaf,
@@ -229,43 +292,7 @@ def _solve_local_leaf(
         objectives, backend=backend,
         time_limit=_per_solve_limit(time_limit, len(objectives)),
     )
-    out_dim = layers[-1].out_dim
-    interval = leaf.bounds.output
-    lo = np.empty(out_dim)
-    hi = np.empty(out_dim)
-    limit_hits = 0
-    witness = None
-    witness_eps = None
-    for j in range(out_dim):
-        r_lo, r_hi = results[2 * j], results[2 * j + 1]
-        for r in (r_lo, r_hi):
-            if not r.is_optimal and r.status not in _LIMIT_STATUSES:
-                raise RuntimeError(
-                    f"split leaf solve failed on output {j}: "
-                    f"status={r.status.value} ({r.message})"
-                )
-        b_lo = r_lo.sound_bound()
-        b_hi = r_hi.sound_bound()
-        lo[j] = float(interval.lo[j]) if b_lo is None else max(b_lo, float(interval.lo[j]))
-        hi[j] = float(interval.hi[j]) if b_hi is None else min(b_hi, float(interval.hi[j]))
-        limit_hits += (not r_lo.is_optimal) + (not r_hi.is_optimal)
-        # Track the extremal feasible input as a concrete witness.
-        for r in (r_lo, r_hi):
-            if not r.is_optimal:
-                continue
-            x = np.array([r[v] for v in enc.input_vars])
-            eps = np.abs(affine_chain_forward(layers, x) - base)
-            if witness_eps is None or eps.max() > witness_eps.max():
-                witness_eps, witness = eps, x
-    return _LeafOutcome(
-        eps=variation_from_reference(lo, hi, base),
-        out_lo=lo,
-        out_hi=hi,
-        exact=limit_hits == 0,
-        limit_hits=limit_hits,
-        witness_eps=witness_eps,
-        witness=witness,
-    )
+    return _local_outcome(layers, leaf, base, results, enc.input_vars)
 
 
 def _solve_global_leaf(
@@ -299,6 +326,23 @@ def _solve_global_leaf(
         objectives, backend=backend,
         time_limit=_per_solve_limit(time_limit, len(objectives)),
     )
+    return _global_outcome(
+        layers, leaf, results, enc.input_vars, enc.input_dist_vars
+    )
+
+
+def _global_outcome(
+    layers: list[AffineLayer],
+    leaf: _Leaf,
+    results,
+    input_vars,
+    input_dist_vars,
+) -> _LeafOutcome:
+    """Assemble a global leaf's outcome from its 2-per-output solves.
+
+    Twin of :func:`_local_outcome` for the ITNE distance encoding
+    (shared by the cold and warm leaf paths).
+    """
     out_dim = layers[-1].out_dim
     interval = leaf.bounds.output_distance
     eps = np.empty(out_dim)
@@ -322,8 +366,8 @@ def _solve_global_leaf(
         for r in (r_lo, r_hi):
             if not r.is_optimal:
                 continue
-            x = np.array([r[v] for v in enc.input_vars])
-            xh = x + np.array([r[v] for v in enc.input_dist_vars])
+            x = np.array([r[v] for v in input_vars])
+            xh = x + np.array([r[v] for v in input_dist_vars])
             pair_eps = np.abs(
                 affine_chain_forward(layers, xh) - affine_chain_forward(layers, x)
             )
@@ -337,7 +381,99 @@ def _solve_global_leaf(
         limit_hits=limit_hits,
         witness_eps=witness_eps,
         witness=witness,
+        pivots=sum(r.iterations for r in results),
     )
+
+
+class _SessionLeafSolver:
+    """Warm-started serial leaf solving through one shared root session.
+
+    Builds ONE encoding over the *root* box and opens one warm
+    :class:`~repro.milp.session.SolverSession` on it (backend resolved
+    from the capability registry:
+    ``find_backend(MIP | INCREMENTAL_ROWS | WARM_START)``).  Each leaf
+    then only tightens the input-variable bounds and re-solves: the
+    constraint matrix never changes, so the previous leaf's simplex
+    basis stays dual feasible and re-entry skips phase 1 entirely.
+
+    Soundness: the root encoding's big-M constants come from root-box
+    pre-activation bounds, which remain valid bounds on every sub-box —
+    the encoding restricted to a leaf box is still the *exact* big-M
+    formulation there, just with looser constants than a per-leaf
+    re-encoding would use.  Warm basis reuse is what buys back the
+    per-leaf tightening this forgoes.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        layers: list[AffineLayer],
+        root: Box,
+        root_bounds: LayerBounds,
+        extra,
+        config: SplitConfig,
+    ) -> None:
+        from repro.milp.backend import Capability, find_backend
+
+        backend = find_backend(
+            Capability.MIP | Capability.INCREMENTAL_ROWS | Capability.WARM_START
+        )
+        self.kind = kind
+        self.layers = layers
+        if kind == "local":
+            self.base = extra
+            enc = encode_single_network(
+                layers, root, pre_act_bounds=root_bounds.y
+            )
+            handles = enc.output
+            self.input_dist_vars = None
+        else:
+            delta, domain = extra
+            enc = encode_itne(
+                layers, root, delta,
+                ranges=root_bounds.to_range_table(),
+                clip_second_input=False,
+            )
+            for k, (x0, d0) in enumerate(
+                zip(enc.input_vars, enc.input_dist_vars)
+            ):
+                second = x0 + d0
+                enc.model.add_constr(second >= float(domain.lo[k]))
+                enc.model.add_constr(second <= float(domain.hi[k]))
+            handles = enc.output_distance
+            self.input_dist_vars = enc.input_dist_vars
+        self.input_vars = enc.input_vars
+        self.session = enc.model.open_session(
+            backend=backend,
+            relu_info=getattr(enc, "relu_vars", None),
+            warm_start=True,
+        )
+        self.objectives = []
+        for handle in handles:
+            expr = as_expr(handle)
+            self.objectives.extend([(expr, "min"), (expr, "max")])
+        self.pivots = 0
+
+    def solve(self, leaf: _Leaf, time_limit: float | None) -> _LeafOutcome:
+        """Re-solve the shared session restricted to ``leaf``'s box."""
+        self.session.set_var_bounds(
+            self.input_vars, leaf.box.lo, leaf.box.hi
+        )
+        results = self.session.solve_objectives(
+            self.objectives,
+            time_limit=_per_solve_limit(time_limit, len(self.objectives)),
+        )
+        if self.kind == "local":
+            outcome = _local_outcome(
+                self.layers, leaf, self.base, results, self.input_vars
+            )
+        else:
+            outcome = _global_outcome(
+                self.layers, leaf, results, self.input_vars,
+                self.input_dist_vars,
+            )
+        self.pivots += outcome.pivots
+        return outcome
 
 
 def _leaf_worker(payload) -> _LeafOutcome:
@@ -356,13 +492,19 @@ def _solve_leaves(
     extra,
     config: SplitConfig,
     deadline: float | None,
+    root: Box | None = None,
+    root_bounds: LayerBounds | None = None,
+    pivot_sink: dict | None = None,
 ) -> list[_LeafOutcome | None]:
     """Solve every leaf MILP, worst-excess first, optionally in parallel.
 
     Returns one outcome per leaf (input order); ``None`` marks a leaf
     the deadline prevented from being solved at all.  Parallel mode
     reuses the batch engine's pool machinery (and its fall-back-serial
-    contract on platforms that cannot fork).
+    contract on platforms that cannot fork).  With
+    ``config.warm_start`` the leaves run serially through one shared
+    :class:`_SessionLeafSolver` instead (total pivots reported via
+    ``pivot_sink["pivots"]``).
     """
     if not leaves:
         return []
@@ -370,6 +512,18 @@ def _solve_leaves(
         range(len(leaves)), key=lambda i: -float(leaves[i].eps_ub.max())
     )
     outcomes: list[_LeafOutcome | None] = [None] * len(leaves)
+    if config.warm_start and root is not None and root_bounds is not None:
+        solver = _SessionLeafSolver(
+            kind, layers, root, root_bounds, extra, config
+        )
+        for i in order:
+            remaining = None if deadline is None else deadline - time.perf_counter()
+            if remaining is not None and remaining <= 0:
+                break  # deadline: remaining leaves stay undecided (sound)
+            outcomes[i] = solver.solve(leaves[i], remaining)
+        if pivot_sink is not None:
+            pivot_sink["pivots"] = solver.pivots
+        return outcomes
     workers = 1 if config.leaf_workers is None else config.leaf_workers
     workers = min(workers, len(leaves))
     if workers > 1:
@@ -449,6 +603,7 @@ class _SplitRun:
         self.milp_limit_hits = 0
         self.proved_by_bounds = 0
         self.root_bounds: LayerBounds | None = None
+        self.simplex_pivots = 0
 
     # -- per-box primitives --------------------------------------------------
 
@@ -553,9 +708,18 @@ class _SplitRun:
             extra = (
                 self.base if self.kind == "local" else (self.delta, self.domain)
             )
+            pivot_sink: dict = {}
             outcomes = _solve_leaves(
                 self.kind, self.layers, self.milp_leaves, extra,
                 self.config, self.deadline,
+                root=self.root, root_bounds=self.root_bounds,
+                pivot_sink=pivot_sink,
+            )
+            # Cold leaves also report their LP iteration counts (nonzero
+            # for the pure-python backends), so warm-vs-cold pivot
+            # comparisons read the same detail key either way.
+            self.simplex_pivots = pivot_sink.get(
+                "pivots", sum(o.pivots for o in outcomes if o is not None)
             )
             for leaf, outcome in zip(self.milp_leaves, outcomes):
                 if outcome is None:
@@ -614,6 +778,10 @@ class _SplitRun:
             "milp_limit_hits": self.milp_limit_hits,
             "undecided": len(self.undecided),
         }
+        if self.config.warm_start:
+            info["warm_start"] = True
+        if self.config.warm_start or self.simplex_pivots:
+            info["simplex_pivots"] = self.simplex_pivots
         if self.config.record_boxes:
             terminal = [box for box, _, _ in self.proved]
             terminal += [box for box, _ in self.undecided]

@@ -37,7 +37,16 @@ Typical usage::
 from repro.milp.expr import LinExpr, Var, VType, as_expr
 from repro.milp.model import Constraint, ConstraintBlock, Model, Sense
 from repro.milp.solution import SolveResult, SolveStatus
-from repro.milp.backend import available_backends, get_backend
+from repro.milp.backend import (
+    BackendSpec,
+    Capability,
+    available_backends,
+    backend_capabilities,
+    find_backend,
+    get_backend,
+    register_backend,
+)
+from repro.milp.session import SolverSession, open_session
 
 __all__ = [
     "Var",
@@ -52,4 +61,11 @@ __all__ = [
     "SolveStatus",
     "get_backend",
     "available_backends",
+    "register_backend",
+    "find_backend",
+    "backend_capabilities",
+    "BackendSpec",
+    "Capability",
+    "SolverSession",
+    "open_session",
 ]

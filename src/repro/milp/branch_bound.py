@@ -36,6 +36,10 @@ class _Node:
     seq: int
     lo: np.ndarray = field(compare=False)
     hi: np.ndarray = field(compare=False)
+    # Parent relaxation's final basis; warm-starts this node's LP when
+    # the solver runs with a PreparedLp (dual-feasible re-entry: the
+    # matrix is unchanged, only the branching bounds tightened).
+    basis: list | None = field(compare=False, default=None)
 
 
 class BranchBoundBackend:
@@ -46,15 +50,28 @@ class BranchBoundBackend:
             constraint matrices), ``"simplex"`` to use
             :mod:`repro.milp.simplex` (fully self-contained, dense).
         max_nodes: Safety cap on explored nodes.
+        warm_start: Solve node relaxations on a shared
+            :class:`~repro.milp.simplex.PreparedLp`, warm-starting each
+            child from its parent's basis (``lp_solver="simplex"``
+            only).  Off by default: results are equal either way, this
+            only trades pivots.
     """
 
     name = "python"
 
-    def __init__(self, lp_solver: str = "highs", max_nodes: int = 200000) -> None:
+    def __init__(
+        self,
+        lp_solver: str = "highs",
+        max_nodes: int = 200000,
+        warm_start: bool = False,
+    ) -> None:
         if lp_solver not in ("highs", "simplex"):
             raise ValueError(f"unknown lp_solver {lp_solver!r}")
+        if warm_start and lp_solver != "simplex":
+            raise ValueError("warm_start requires lp_solver='simplex'")
         self.lp_solver = lp_solver
         self.max_nodes = max_nodes
+        self.warm_start = warm_start
 
     # -- public API ---------------------------------------------------------
 
@@ -75,36 +92,99 @@ class BranchBoundBackend:
 
         Mirrors :meth:`ScipyBackend.solve_objectives` so Algorithm 1's
         per-neuron batches avoid one standard-form export per objective
-        on this backend as well.
+        on this backend as well.  With ``warm_start`` the objectives
+        additionally share one :class:`~repro.milp.simplex.PreparedLp`
+        and each root relaxation re-enters from the previous objective's
+        final basis (the constraints are identical — only ``c`` moves).
         """
         _, a_ub, b_ub, a_eq, b_eq, bounds, integrality = model.to_standard_form(
             sparse=self.lp_solver == "highs"
         )
+        prepared = (
+            simplex.PreparedLp(a_ub, b_ub, a_eq, b_eq, bounds)
+            if self.warm_start
+            else None
+        )
         results = []
+        warm = None
         for expr, sense in objectives:
             c, expr = model.objective_vector(expr, sense)
+            sink: dict = {}
             res = self._solve_std(
-                c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, time_limit, None
+                c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, time_limit, None,
+                prepared=prepared, warm_basis=warm, basis_sink=sink,
             )
+            warm = sink.get("root", warm)
             results.append(finalize_user_sense(res, sense, expr.constant))
         return results
+
+    def open_session(self, model, relu_info=None, warm_start: bool = False):
+        """Open an incremental :class:`~repro.milp.session.SolverSession`.
+
+        With ``lp_solver="simplex"`` and warm starting requested (here or
+        at construction) the session is the *native* one: a shared
+        :class:`~repro.milp.simplex.PreparedLp` plus basis reuse across
+        solves.  Otherwise it is the cached-export re-solve session.
+        """
+        from repro.milp.session import SolverSession, WarmStartSession
+
+        if (warm_start or self.warm_start) and self.lp_solver == "simplex":
+            backend = (
+                self
+                if self.warm_start
+                else BranchBoundBackend(
+                    lp_solver="simplex",
+                    max_nodes=self.max_nodes,
+                    warm_start=True,
+                )
+            )
+            return WarmStartSession(backend, model, relu_info=relu_info)
+        return SolverSession(
+            self, model, sparse=self.lp_solver == "highs", relu_info=relu_info
+        )
 
     # -- internals ------------------------------------------------------------
 
     def _solve_std(
-        self, c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, time_limit, mip_gap
+        self,
+        c,
+        a_ub,
+        b_ub,
+        a_eq,
+        b_eq,
+        bounds,
+        integrality,
+        time_limit,
+        mip_gap,
+        prepared=None,
+        warm_basis=None,
+        basis_sink: dict | None = None,
     ) -> SolveResult:
         """Run branch-and-bound on a minimization-sense standard form."""
         t0 = time.perf_counter()
+        if prepared is None and self.warm_start:
+            prepared = simplex.PreparedLp(a_ub, b_ub, a_eq, b_eq, bounds)
         result = self._branch_and_bound(
-            c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, time_limit, mip_gap
+            c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, time_limit, mip_gap,
+            prepared=prepared, warm_basis=warm_basis, basis_sink=basis_sink,
         )
         result.solve_time = time.perf_counter() - t0
         result.backend = f"{self.name}/{self.lp_solver}"
         return result
 
-    def _solve_relaxation(self, c, a_ub, b_ub, a_eq, b_eq, lo, hi):
-        """LP-relax with the configured LP engine; returns (status, obj, x)."""
+    def _solve_relaxation(
+        self, c, a_ub, b_ub, a_eq, b_eq, lo, hi, prepared=None, basis=None
+    ):
+        """LP-relax with the configured engine.
+
+        Returns ``(status, obj, x, basis, iterations)``; ``basis`` is a
+        warm-start handle for child nodes (``None`` outside the prepared
+        simplex path).
+        """
+        if prepared is not None:
+            lp = prepared.solve(c, lo, hi, basis=basis)
+            if lp is not None:
+                return lp.status, lp.objective, lp.x, lp.basis, lp.iterations
         bounds = list(zip(lo, hi))
         if self.lp_solver == "highs":
             res = sopt.linprog(
@@ -124,27 +204,49 @@ class BranchBoundBackend:
             }.get(res.status, SolveStatus.ERROR)
             x = np.asarray(res.x) if res.x is not None else np.empty(0)
             obj = float(res.fun) if res.fun is not None else math.nan
-            return status, obj, x
+            return status, obj, x, None, 0
         lp = simplex.solve_lp(c, a_ub, b_ub, a_eq, b_eq, bounds)
-        return lp.status, lp.objective, lp.x
+        return lp.status, lp.objective, lp.x, None, lp.iterations
 
     def _branch_and_bound(
-        self, c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, time_limit, mip_gap
+        self,
+        c,
+        a_ub,
+        b_ub,
+        a_eq,
+        b_eq,
+        bounds,
+        integrality,
+        time_limit,
+        mip_gap,
+        prepared=None,
+        warm_basis=None,
+        basis_sink: dict | None = None,
     ) -> SolveResult:
         int_cols = np.flatnonzero(integrality)
         lo0 = np.array([b[0] for b in bounds], dtype=float)
         hi0 = np.array([b[1] for b in bounds], dtype=float)
 
-        status, obj, x = self._solve_relaxation(c, a_ub, b_ub, a_eq, b_eq, lo0, hi0)
+        status, obj, x, root_basis, lp_iters = self._solve_relaxation(
+            c, a_ub, b_ub, a_eq, b_eq, lo0, hi0,
+            prepared=prepared, basis=warm_basis,
+        )
+        if basis_sink is not None and root_basis is not None:
+            basis_sink["root"] = root_basis
         if status is not SolveStatus.OPTIMAL:
-            return SolveResult(status=status, message="root relaxation not optimal")
+            return SolveResult(
+                status=status,
+                message="root relaxation not optimal",
+                iterations=lp_iters,
+            )
         if int_cols.size == 0:
             return SolveResult(
-                status=SolveStatus.OPTIMAL, objective=obj, values=x, bound=obj
+                status=SolveStatus.OPTIMAL, objective=obj, values=x, bound=obj,
+                iterations=lp_iters,
             )
 
         seq = itertools.count()
-        heap: list[_Node] = [_Node(obj, next(seq), lo0, hi0)]
+        heap: list[_Node] = [_Node(obj, next(seq), lo0, hi0, basis=root_basis)]
         incumbent_obj = math.inf
         incumbent_x: np.ndarray | None = None
         nodes_explored = 0
@@ -158,6 +260,7 @@ class BranchBoundBackend:
                     nodes_explored,
                     SolveStatus.TIME_LIMIT,
                     heap,
+                    lp_iters,
                 )
             if nodes_explored >= self.max_nodes:
                 return self._finish(
@@ -166,6 +269,7 @@ class BranchBoundBackend:
                     nodes_explored,
                     SolveStatus.ITERATION_LIMIT,
                     heap,
+                    lp_iters,
                 )
             node = heapq.heappop(heap)
             if mip_gap is not None and incumbent_x is not None:
@@ -179,9 +283,11 @@ class BranchBoundBackend:
                     break
             if node.bound >= incumbent_obj - 1e-12:
                 continue  # pruned by bound
-            status, obj, x = self._solve_relaxation(
-                c, a_ub, b_ub, a_eq, b_eq, node.lo, node.hi
+            status, obj, x, node_basis, iters = self._solve_relaxation(
+                c, a_ub, b_ub, a_eq, b_eq, node.lo, node.hi,
+                prepared=prepared, basis=node.basis,
             )
+            lp_iters += iters
             nodes_explored += 1
             if status is not SolveStatus.OPTIMAL or obj >= incumbent_obj - 1e-12:
                 continue
@@ -200,15 +306,21 @@ class BranchBoundBackend:
             hi_child = node.hi.copy()
             hi_child[frac_col] = math.floor(val)
             if lo_child[frac_col] <= hi_child[frac_col]:
-                heapq.heappush(heap, _Node(obj, next(seq), lo_child, hi_child))
+                heapq.heappush(
+                    heap, _Node(obj, next(seq), lo_child, hi_child, basis=node_basis)
+                )
             lo_child2 = node.lo.copy()
             hi_child2 = node.hi.copy()
             lo_child2[frac_col] = math.ceil(val)
             if lo_child2[frac_col] <= hi_child2[frac_col]:
-                heapq.heappush(heap, _Node(obj, next(seq), lo_child2, hi_child2))
+                heapq.heappush(
+                    heap,
+                    _Node(obj, next(seq), lo_child2, hi_child2, basis=node_basis),
+                )
 
         return self._finish(
-            incumbent_obj, incumbent_x, nodes_explored, SolveStatus.INFEASIBLE, heap
+            incumbent_obj, incumbent_x, nodes_explored, SolveStatus.INFEASIBLE,
+            heap, lp_iters,
         )
 
     @staticmethod
@@ -224,7 +336,7 @@ class BranchBoundBackend:
         return int(int_cols[best])
 
     @staticmethod
-    def _finish(obj, x, nodes, fail_status, heap) -> SolveResult:
+    def _finish(obj, x, nodes, fail_status, heap, lp_iters: int = 0) -> SolveResult:
         """Wrap up: report the incumbent if any, else the failure status.
 
         The sound dual bound is the minimum over the open nodes' LP
@@ -247,6 +359,9 @@ class BranchBoundBackend:
                 values=x,
                 nodes=nodes,
                 bound=min(obj, best_open),
+                iterations=lp_iters,
             )
         bound = best_open if math.isfinite(best_open) else math.nan
-        return SolveResult(status=fail_status, nodes=nodes, bound=bound)
+        return SolveResult(
+            status=fail_status, nodes=nodes, bound=bound, iterations=lp_iters
+        )

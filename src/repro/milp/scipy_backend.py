@@ -77,6 +77,19 @@ class ScipyBackend:
             results.append(finalize_user_sense(res, sense, expr.constant))
         return results
 
+    def open_session(self, model, relu_info=None, warm_start: bool = False):
+        """Open a cached-export :class:`~repro.milp.session.SolverSession`.
+
+        The standard form is exported (sparse) exactly once; incremental
+        bound changes and appended rows mutate the cached arrays and
+        every :meth:`~repro.milp.session.SolverSession.solve` re-runs
+        HiGHS on them.  ``warm_start`` is accepted for signature parity
+        and ignored — HiGHS is re-entered cold (no basis handoff).
+        """
+        from repro.milp.session import SolverSession
+
+        return SolverSession(self, model, sparse=True, relu_info=relu_info)
+
     def _solve_std(
         self, c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, time_limit, mip_gap
     ) -> SolveResult:

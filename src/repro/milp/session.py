@@ -1,0 +1,478 @@
+"""Incremental solver sessions: one export, many modified re-solves.
+
+A :class:`SolverSession` snapshots a :class:`~repro.milp.model.Model`'s
+standard form once and then answers a *sequence* of solves under
+incremental modifications — tightened variable bounds, appended rows,
+swapped objectives, fixed ReLU phases — without ever re-exporting (and,
+on the native simplex backend, without re-running phase 1: the previous
+basis re-enters phase 2 directly, or through the dual simplex after
+bound tightening).  This is the machinery behind warm-started split
+leaves and the neuron-splitting tier.
+
+Two implementations share the public API:
+
+* :class:`SolverSession` — the cached-export re-solve shim.  Works on
+  any backend exposing ``_solve_std`` (scipy/HiGHS, python B&B): the
+  cached matrices are mutated and handed back to the solver cold.
+* :class:`WarmStartSession` — native on ``python:simplex``: a shared
+  :class:`~repro.milp.simplex.PreparedLp` plus basis carried across
+  solves (and across branch-and-bound nodes for MILPs).
+
+Sessions are *snapshots*: changes made to the model after the session
+was opened are not seen.  Appended rows are permanent for the session's
+lifetime (there is no row deletion); phase fixes on neurons that carry a
+binary indicator are released by re-fixing with ``phase=None``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from repro.milp import simplex
+from repro.milp.expr import LinExpr, Var
+from repro.milp.model import _SENSE_EQ, _SENSE_GE, Model
+from repro.milp.solution import SolveResult, SolveStatus, finalize_user_sense
+
+__all__ = ["SolverSession", "WarmStartSession", "open_session", "solve_objectives"]
+
+
+def _parse_le_rows(coeffs, senses, rhs, n: int):
+    """Normalize appended rows to pure ``<=`` COO form.
+
+    Accepts the same shapes as :meth:`Model.add_linear_rows` (dense
+    ``(k, n)`` array, scipy sparse matrix, or COO triplets).  ``>=``
+    rows are negated; ``==`` rows become a ``<=`` / ``>=`` *pair* so the
+    session only ever appends inequality rows (which is what keeps an
+    old simplex basis extendable — each new row gets a basic slack).
+
+    Returns:
+        ``(data, row, col, rhs)`` with ``row`` local to the result.
+    """
+    if isinstance(coeffs, tuple):
+        data, (row, col) = coeffs
+        data = np.array(data, dtype=float, copy=True)
+        row = np.array(row, dtype=np.int64, copy=True)
+        col = np.array(col, dtype=np.int64, copy=True)
+        num_rows = Model._block_row_count(senses, rhs, row)
+    elif hasattr(coeffs, "tocoo"):
+        coo = coeffs.tocoo()
+        data = np.array(coo.data, dtype=float, copy=True)
+        row = np.array(coo.row, dtype=np.int64, copy=True)
+        col = np.array(coo.col, dtype=np.int64, copy=True)
+        num_rows = int(coeffs.shape[0])
+    else:
+        dense = np.asarray(coeffs, dtype=float)
+        if dense.ndim != 2:
+            raise ValueError("dense coefficient block must be 2-D")
+        r, c = np.nonzero(dense)
+        data = dense[r, c].astype(float)
+        row = r.astype(np.int64)
+        col = c.astype(np.int64)
+        num_rows = int(dense.shape[0])
+    if row.size and (col.min() < 0 or col.max() >= n):
+        raise ValueError("appended row column index exceeds num_vars")
+    if row.size and (row.min() < 0 or row.max() >= num_rows):
+        raise ValueError("appended row index out of range")
+    if not np.isfinite(data).all():
+        raise ValueError("appended coefficients must be finite")
+    sense_codes = Model._coerce_senses(senses, num_rows)
+    rhs_arr = np.array(np.broadcast_to(np.asarray(rhs, dtype=float), (num_rows,)))
+    if not np.isfinite(rhs_arr).all():
+        raise ValueError("appended right-hand sides must be finite")
+
+    ge = sense_codes == _SENSE_GE
+    if ge.any():
+        flip = ge[row]
+        data[flip] = -data[flip]
+        rhs_arr = rhs_arr.copy()
+        rhs_arr[ge] = -rhs_arr[ge]
+    eq = sense_codes == _SENSE_EQ
+    if not eq.any():
+        return data, row, col, rhs_arr
+    # Duplicate each == row with flipped sign: x == b  <=>  x <= b, -x <= -b.
+    order = np.argsort(row, kind="stable")
+    dup_sel = eq[row]
+    new_index = np.cumsum(eq) - 1 + num_rows  # extra row per eq row
+    out_data = np.concatenate([data, -data[dup_sel]])
+    out_row = np.concatenate([row, new_index[row[dup_sel]]])
+    out_col = np.concatenate([col, col[dup_sel]])
+    out_rhs = np.concatenate([rhs_arr, -rhs_arr[eq]])
+    del order  # stable concat keeps original row ids intact
+    return out_data, out_row, out_col, out_rhs
+
+
+class SolverSession:
+    """Incremental modify + re-solve over one cached standard form.
+
+    Create via :func:`open_session`, a backend's ``open_session`` method
+    or :meth:`Model.open_session`.  The session captures the model's
+    export once; afterwards :meth:`set_var_bounds`, :meth:`append_rows`,
+    :meth:`set_objective` and :meth:`fix_relu_phase` mutate the cached
+    form and :meth:`solve` re-solves it without re-export.
+
+    Args:
+        backend: A backend instance exposing ``_solve_std``.
+        model: The model to snapshot (not referenced after ``__init__``
+            except for objective-vector assembly).
+        sparse: Export/cached-matrix representation.
+        relu_info: ``{(layer, neuron): (y_index, x_index, z_index|None)}``
+            metadata enabling :meth:`fix_relu_phase` (see
+            :attr:`repro.encoding.single.SingleEncoding.relu_vars`).
+    """
+
+    def __init__(self, backend, model: Model, sparse: bool = True, relu_info=None):
+        (
+            _c,
+            self._a_ub,
+            self._b_ub,
+            self._a_eq,
+            self._b_eq,
+            bounds,
+            self._integrality,
+        ) = model.to_standard_form(sparse=sparse)
+        self._backend = backend
+        self._model = model
+        self._sparse = sparse
+        self._n = model.num_vars
+        self._lo = np.array([b[0] for b in bounds], dtype=float)
+        self._hi = np.array([b[1] for b in bounds], dtype=float)
+        self._c = _c
+        self._sense = model.objective_sense
+        self._constant = model.objective.constant
+        self._relu_info = dict(relu_info or {})
+        self._relu_fixed: dict[tuple[int, int], str] = {}
+        self._extra: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+        self._num_extra = 0
+        self._cache = None  # assembled (a_ub_all, b_ub_all)
+
+    # -- inspection ------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        """Variable count of the snapshot (sessions never add columns)."""
+        return self._n
+
+    @property
+    def num_appended_rows(self) -> int:
+        """Inequality rows appended since the session was opened."""
+        return self._num_extra
+
+    # -- incremental modification ---------------------------------------
+
+    def _indices(self, variables) -> np.ndarray:
+        idx = np.asarray(
+            [v.index if isinstance(v, Var) else int(v) for v in variables],
+            dtype=int,
+        )
+        if idx.size and (idx.min() < 0 or idx.max() >= self._n):
+            raise ValueError("variable index out of range for this session")
+        return idx
+
+    def set_var_bounds(self, variables, lb, ub) -> None:
+        """Replace the bounds of ``variables`` (``Var`` handles or ints).
+
+        ``lb``/``ub`` broadcast.  ``lb > ub`` is allowed and makes the
+        next :meth:`solve` report infeasibility (the neuron-split /
+        branching convention), except on the native warm session where
+        structure must be preserved: bounds must keep their finiteness
+        pattern there (tightening always does).
+        """
+        idx = self._indices(variables)
+        self._lo[idx] = np.broadcast_to(np.asarray(lb, dtype=float), idx.shape)
+        self._hi[idx] = np.broadcast_to(np.asarray(ub, dtype=float), idx.shape)
+
+    def append_rows(self, coeffs, senses, rhs) -> int:
+        """Append linear rows to the cached form (no re-export).
+
+        Accepts :meth:`Model.add_linear_rows` shapes; ``==`` rows are
+        stored as a ``<=`` pair.  Appended rows are permanent for the
+        session's lifetime.
+
+        Returns:
+            The number of (normalized, ``<=``) rows actually appended.
+        """
+        data, row, col, rhs_arr = _parse_le_rows(coeffs, senses, rhs, self._n)
+        self._extra.append((data, row, col, rhs_arr))
+        self._num_extra += rhs_arr.shape[0]
+        self._cache = None
+        self._on_rows_appended(data, row, col, rhs_arr)
+        return int(rhs_arr.shape[0])
+
+    def _on_rows_appended(self, data, row, col, rhs) -> None:
+        """Hook for subclasses tracking extra per-row state."""
+
+    def set_objective(self, expr: LinExpr | Var, sense: str = "min") -> None:
+        """Swap the objective (same semantics as :meth:`Model.solve_many`)."""
+        c, expr = self._model.objective_vector(expr, sense)
+        self._c = c
+        self._sense = sense
+        self._constant = expr.constant
+
+    def fix_relu_phase(self, layer: int, neuron: int, phase: str | None) -> None:
+        """Fix (or release) the phase of one encoded ReLU neuron.
+
+        The building block of the neuron-splitting tier: branching on an
+        unstable neuron solves the subproblem with the neuron pinned
+        *active* (``x = y >= 0``) and pinned *inactive* (``x = 0``,
+        ``y <= 0``); the true extremum is the best of the two.
+
+        For neurons encoded with a big-M binary indicator the fix is the
+        indicator's bounds (``z = 1`` active / ``z = 0`` inactive) —
+        fully reversible with ``phase=None``.  For neurons without an
+        indicator (stable or triangle-relaxed) the fix appends sign rows
+        (active: ``-y <= 0`` and ``x - y <= 0``; inactive: ``y <= 0``
+        and ``x <= 0``), which also *tightens* a relaxed neuron to the
+        exact branch; appended rows cannot be retracted, so such fixes
+        are one-way.
+
+        Args:
+            layer: Layer index of the neuron (as in the encoder's
+                ``relu_vars`` keys).
+            neuron: Neuron index within the layer.
+            phase: ``"active"``, ``"inactive"``, or ``None`` to release
+                an indicator-based fix.
+        """
+        key = (layer, neuron)
+        try:
+            y_idx, x_idx, z_idx = self._relu_info[key]
+        except KeyError:
+            raise ValueError(
+                f"no ReLU metadata for neuron {key}; open the session with "
+                "relu_info (e.g. SingleEncoding.relu_vars)"
+            ) from None
+        if phase is None:
+            if self._relu_fixed.get(key) is None:
+                return
+            if z_idx is None:
+                raise ValueError(
+                    f"phase fix on neuron {key} used appended rows (no "
+                    "binary indicator) and cannot be released"
+                )
+            self.set_var_bounds([z_idx], 0.0, 1.0)
+            del self._relu_fixed[key]
+            return
+        if phase not in ("active", "inactive"):
+            raise ValueError(f"unknown ReLU phase {phase!r}")
+        previous = self._relu_fixed.get(key)
+        if previous == phase:
+            return
+        if z_idx is not None:
+            value = 1.0 if phase == "active" else 0.0
+            self.set_var_bounds([z_idx], value, value)
+        else:
+            if previous is not None:
+                raise ValueError(
+                    f"neuron {key} is row-fixed to {previous!r}; row-based "
+                    "fixes cannot be flipped"
+                )
+            rows = np.zeros((2, self._n))
+            if phase == "active":
+                rows[0, y_idx] = -1.0  # y >= 0
+                rows[1, x_idx] = 1.0  # x <= y
+                rows[1, y_idx] = -1.0
+            else:
+                rows[0, y_idx] = 1.0  # y <= 0
+                rows[1, x_idx] = 1.0  # x <= 0
+            self.append_rows(rows, "<=", np.zeros(2))
+        self._relu_fixed[key] = phase
+
+    # -- solving ---------------------------------------------------------
+
+    def _assembled(self):
+        """Base + appended ub rows as one matrix/vector pair (cached)."""
+        if self._cache is not None:
+            return self._cache
+        if not self._extra:
+            self._cache = (self._a_ub, self._b_ub)
+            return self._cache
+        datas, rows, cols, rhss = [], [], [], []
+        offset = 0
+        for data, row, col, rhs in self._extra:
+            datas.append(data)
+            rows.append(row + offset)
+            cols.append(col)
+            rhss.append(rhs)
+            offset += rhs.shape[0]
+        b_ub = np.concatenate([self._b_ub, *rhss])
+        if self._sparse:
+            import scipy.sparse as sp
+
+            extra = sp.coo_matrix(
+                (np.concatenate(datas), (np.concatenate(rows), np.concatenate(cols))),
+                shape=(offset, self._n),
+            ).tocsr()
+            a_ub = sp.vstack([self._a_ub, extra], format="csr")
+        else:
+            extra = np.zeros((offset, self._n))
+            np.add.at(
+                extra,
+                (np.concatenate(rows), np.concatenate(cols)),
+                np.concatenate(datas),
+            )
+            a_ub = np.vstack([self._a_ub, extra])
+        self._cache = (a_ub, b_ub)
+        return self._cache
+
+    def _infeasible(self) -> SolveResult:
+        result = SolveResult(
+            status=SolveStatus.INFEASIBLE,
+            backend=getattr(self._backend, "name", ""),
+            message="conflicting session variable bounds",
+        )
+        return finalize_user_sense(result, self._sense, self._constant)
+
+    def solve(self, time_limit=None, mip_gap=None) -> SolveResult:
+        """Solve the current state of the session.
+
+        Equivalent (same statuses, same optima) to exporting a fresh
+        model carrying all accumulated modifications — the property the
+        session test-suite asserts.
+        """
+        if (self._lo > self._hi).any():
+            return self._infeasible()
+        a_ub, b_ub = self._assembled()
+        bounds = list(zip(self._lo, self._hi))
+        result = self._solve_current(
+            self._c, a_ub, b_ub, self._a_eq, self._b_eq, bounds,
+            time_limit, mip_gap,
+        )
+        return finalize_user_sense(result, self._sense, self._constant)
+
+    def _solve_current(
+        self, c, a_ub, b_ub, a_eq, b_eq, bounds, time_limit, mip_gap
+    ) -> SolveResult:
+        return self._backend._solve_std(
+            c, a_ub, b_ub, a_eq, b_eq, bounds, self._integrality,
+            time_limit, mip_gap,
+        )
+
+    def solve_objectives(self, objectives, time_limit=None) -> list[SolveResult]:
+        """Solve the current state under several objectives, in order."""
+        results = []
+        for expr, sense in objectives:
+            self.set_objective(expr, sense)
+            results.append(self.solve(time_limit=time_limit))
+        return results
+
+
+class WarmStartSession(SolverSession):
+    """Native incremental session on the pure-python simplex backend.
+
+    On top of the cached export this keeps a shared
+    :class:`~repro.milp.simplex.PreparedLp` (structure captured once)
+    and the previous solve's basis.  Pure-LP re-solves re-enter phase 2
+    from that basis — or the dual simplex when bound tightening made it
+    primal infeasible — and MILP re-solves warm-start the root
+    relaxation and every branch-and-bound node from its parent's basis.
+    Appended rows extend both the prepared structure (new basic slack
+    per row, keeping the basis dual feasible) and the cached arrays.
+    """
+
+    def __init__(self, backend, model: Model, relu_info=None):
+        super().__init__(backend, model, sparse=False, relu_info=relu_info)
+        self._prepared = simplex.PreparedLp(
+            self._a_ub, self._b_ub, self._a_eq, self._b_eq,
+            list(zip(self._lo, self._hi)),
+        )
+        self._basis: list[int] | None = None
+
+    def _on_rows_appended(self, data, row, col, rhs) -> None:
+        dense = np.zeros((rhs.shape[0], self._n))
+        np.add.at(dense, (row, col), data)
+        slack_cols = self._prepared.append_le_rows(dense, rhs)
+        if self._basis is not None:
+            self._basis = self._basis + slack_cols
+
+    def _solve_current(
+        self, c, a_ub, b_ub, a_eq, b_eq, bounds, time_limit, mip_gap
+    ) -> SolveResult:
+        if self._integrality.any():
+            sink: dict = {}
+            result = self._backend._solve_std(
+                c, a_ub, b_ub, a_eq, b_eq, bounds, self._integrality,
+                time_limit, mip_gap,
+                prepared=self._prepared, warm_basis=self._basis,
+                basis_sink=sink,
+            )
+            self._basis = sink.get("root", self._basis)
+            return result
+        t0 = time.perf_counter()
+        lp = self._prepared.solve(c, self._lo, self._hi, basis=self._basis)
+        if lp is None:  # bound-structure drift: cold fallback
+            return super()._solve_current(
+                c, a_ub, b_ub, a_eq, b_eq, bounds, time_limit, mip_gap
+            )
+        if lp.basis is not None:
+            self._basis = lp.basis
+        objective = lp.objective if lp.status is SolveStatus.OPTIMAL else (
+            lp.objective if lp.status is SolveStatus.UNBOUNDED else math.nan
+        )
+        return SolveResult(
+            status=lp.status,
+            objective=objective,
+            values=lp.x,
+            backend=f"{self._backend.name}/{self._backend.lp_solver}",
+            solve_time=time.perf_counter() - t0,
+            iterations=lp.iterations,
+            bound=objective if lp.status is SolveStatus.OPTIMAL else math.nan,
+        )
+
+
+def open_session(
+    model: Model,
+    backend: "str | object" = "scipy",
+    relu_info=None,
+    warm_start: bool = False,
+) -> SolverSession:
+    """Open a :class:`SolverSession` on ``model`` with a named backend.
+
+    Args:
+        model: The model to snapshot.
+        backend: Registry name (``"scipy"``, ``"python:simplex"``, ...)
+            or a backend instance.
+        relu_info: Optional ReLU metadata enabling
+            :meth:`SolverSession.fix_relu_phase`.
+        warm_start: Request basis reuse across solves.  Honored by the
+            ``python:simplex`` backend (which then opens its native
+            :class:`WarmStartSession`); a no-op on backends without the
+            :data:`~repro.milp.backend.Capability.WARM_START`
+            capability — the session still caches the export.
+
+    Raises:
+        TypeError: The backend has no session support (no
+            ``open_session`` method).
+    """
+    from repro.milp.backend import get_backend
+
+    solver = get_backend(backend)
+    opener = getattr(solver, "open_session", None)
+    if opener is None:
+        raise TypeError(
+            f"backend {getattr(solver, 'name', solver)!r} does not support "
+            "solver sessions (no open_session method)"
+        )
+    return opener(model, relu_info=relu_info, warm_start=warm_start)
+
+
+def solve_objectives(
+    model: Model,
+    objectives,
+    backend: "str | object" = "scipy",
+    time_limit=None,
+) -> list[SolveResult]:
+    """Solve ``model`` under several objectives through one session.
+
+    Session-based twin of :meth:`Model.solve_many`: one export, one
+    solve per objective.  Used by the certification drivers so the
+    multi-objective hot path and the incremental path cannot drift.
+    Backends without session support fall back to
+    :meth:`Model.solve_many` (same results, repeated exports).
+    """
+    try:
+        session = open_session(model, backend=backend)
+    except TypeError:
+        return model.solve_many(objectives, backend=backend, time_limit=time_limit)
+    return session.solve_objectives(objectives, time_limit=time_limit)

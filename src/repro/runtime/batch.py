@@ -99,6 +99,10 @@ class CertificationQuery:
             worker budget when the split query runs inline (a batch of
             one), and keeps leaves serial when many queries already fan
             out across the pool.
+        warm_start: Split tier: solve all MILP leaves through one shared
+            warm :class:`~repro.milp.session.SolverSession` over the
+            root encoding (serial; overrides ``split_workers``).  Same
+            verdicts, fewer simplex pivots per leaf.
         shared_bounds: Engine-managed cache slot: a pre-computed
             :class:`~repro.bounds.propagator.LayerBounds` for this
             query's input box, shared across the batch by
@@ -122,6 +126,7 @@ class CertificationQuery:
     max_domains: int | None = None
     split_depth: int | None = None
     split_workers: int | None = None
+    warm_start: bool = False
     shared_bounds: LayerBounds | None = None
     tag: str = ""
 
@@ -252,6 +257,7 @@ def _run_split(query: CertificationQuery):
         bounds=query.effective_bounds(),
         time_limit=time_limit,
         leaf_workers=query.split_workers,
+        warm_start=query.warm_start,
     )
     if query.max_domains is not None:
         config.max_domains = query.max_domains
@@ -501,6 +507,7 @@ def local_queries(
     split: bool = False,
     max_domains: int | None = None,
     split_depth: int | None = None,
+    warm_start: bool = False,
     time_limit: float | None = None,
     tag_prefix: str = "sample",
 ) -> list[CertificationQuery]:
@@ -524,6 +531,8 @@ def local_queries(
             only; needs ``epsilon``).
         max_domains / split_depth: Split-tier knobs (``None`` = config
             defaults).
+        warm_start: Split tier: one shared warm solver session for all
+            MILP leaves (serial) instead of per-leaf fresh models.
         time_limit: Per-query time limit; for split queries the shared
             deadline of the whole branch-and-bound run.
         tag_prefix: Result tags become ``f"{tag_prefix}[{i}]"``.
@@ -548,6 +557,7 @@ def local_queries(
             split=split,
             max_domains=max_domains,
             split_depth=split_depth,
+            warm_start=warm_start,
             time_limit=time_limit,
             tag=f"{tag_prefix}[{i}]",
         )
@@ -570,6 +580,7 @@ def global_query(
     split: bool = False,
     max_domains: int | None = None,
     split_depth: int | None = None,
+    warm_start: bool = False,
     tag: str = "global",
 ) -> CertificationQuery:
     """One global certification query (Algorithm 1, or the exact MILP).
@@ -579,7 +590,9 @@ def global_query(
     ``epsilon`` target enables the bounds-only presolve tier;
     ``split=True`` (requires ``exact=True`` and ``epsilon``) decides
     undecided queries with the input-splitting tier, for which
-    ``time_limit`` is the shared deadline of the whole run.
+    ``time_limit`` is the shared deadline of the whole run and
+    ``warm_start=True`` solves the MILP leaves through one shared warm
+    solver session.
     """
     if split and not exact:
         raise ValueError("split applies to exact global queries only")
@@ -598,6 +611,7 @@ def global_query(
         split=split,
         max_domains=max_domains,
         split_depth=split_depth,
+        warm_start=warm_start,
         tag=tag,
     )
 

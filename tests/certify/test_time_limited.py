@@ -99,17 +99,18 @@ class TestTimeLimitedExactGlobal:
     def test_non_limit_failure_still_raises(self, domain, monkeypatch):
         # Only resource-limit statuses may fall back to a bound; a
         # genuine solver failure must not be masked as a limit hit.
-        from repro.milp.model import Model
-
         layers = hard_chain(np.random.default_rng(2), width=4, depth=2)
 
-        def broken_solve_many(self, objectives, backend="scipy", time_limit=None):
+        def broken_solve_objectives(model, objectives, backend="scipy", time_limit=None):
             return [
                 SolveResult(status=SolveStatus.ERROR, message="boom")
                 for _ in objectives
             ]
 
-        monkeypatch.setattr(Model, "solve_many", broken_solve_many)
+        monkeypatch.setattr(
+            "repro.certify.exact.session_solve_objectives",
+            broken_solve_objectives,
+        )
         with pytest.raises(RuntimeError, match="status=error"):
             certify_exact_global(layers, domain, 0.02, time_limit=0.01)
 

@@ -1,0 +1,117 @@
+"""Capability-registry semantics: names, variants, deterministic fallback."""
+
+import pytest
+
+from repro.milp import backend as backend_registry
+from repro.milp.backend import (
+    BackendSpec,
+    Capability,
+    available_backends,
+    backend_capabilities,
+    find_backend,
+    get_backend,
+)
+from repro.milp.branch_bound import BranchBoundBackend
+from repro.milp.scipy_backend import ScipyBackend
+
+
+class TestNames:
+    def test_builtin_backends_registered(self):
+        names = available_backends()
+        assert {"scipy", "highs", "python"} <= set(names)
+        assert names == sorted(names)
+
+    def test_highs_is_a_real_entry(self):
+        backend = get_backend("highs")
+        assert isinstance(backend, ScipyBackend)
+
+    def test_unknown_base_name_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("gurobi")
+
+    def test_unsupported_variant_raises(self):
+        # The old registry silently ignored ":variant" on backends
+        # without variants — "scipy:simplex" quietly solved with HiGHS.
+        with pytest.raises(ValueError, match="does not support variant"):
+            get_backend("scipy:simplex")
+
+    def test_unsupported_variant_message_lists_supported(self):
+        with pytest.raises(ValueError, match="highs, simplex, simplex-warm"):
+            get_backend("python:dual")
+
+    def test_instance_passes_through(self):
+        backend = BranchBoundBackend(lp_solver="simplex")
+        assert get_backend(backend) is backend
+
+    def test_python_variants_resolve(self):
+        assert get_backend("python:simplex").lp_solver == "simplex"
+        warm = get_backend("python:simplex-warm")
+        assert warm.lp_solver == "simplex"
+        assert warm.warm_start
+
+
+class TestCapabilities:
+    def test_variant_capability_overrides(self):
+        assert backend_capabilities("python:simplex-warm") & Capability.WARM_START
+        assert not backend_capabilities("python:simplex") & Capability.WARM_START
+        assert not backend_capabilities("python:simplex") & Capability.SPARSE
+        assert backend_capabilities("python") & Capability.SPARSE
+
+    def test_capability_query_validates_variant(self):
+        with pytest.raises(ValueError, match="does not support variant"):
+            backend_capabilities("highs:simplex")
+
+    def test_scipy_has_no_warm_start(self):
+        assert not backend_capabilities("scipy") & Capability.WARM_START
+
+
+class TestFindBackend:
+    def test_registration_order_wins(self):
+        # "scipy" is registered first and satisfies the plain-MIP query.
+        assert find_backend(Capability.MIP) == "scipy"
+        assert find_backend(Capability.MIP | Capability.SPARSE) == "scipy"
+
+    def test_variant_probed_when_bases_lack_capability(self):
+        query = (
+            Capability.MIP
+            | Capability.INCREMENTAL_ROWS
+            | Capability.WARM_START
+        )
+        assert find_backend(query) == "python:simplex-warm"
+
+    def test_deterministic_across_calls(self):
+        query = Capability.WARM_START
+        assert find_backend(query) == find_backend(query)
+
+    def test_unsatisfiable_combination_raises(self):
+        with pytest.raises(ValueError, match="no registered backend"):
+            find_backend(Capability.SPARSE | Capability.WARM_START)
+
+    def test_third_party_backend_joins_fallback_last(self, monkeypatch):
+        sentinel = object()
+        monkeypatch.setitem(
+            backend_registry._REGISTRY,
+            "custom",
+            BackendSpec(
+                name="custom",
+                factory=lambda variant: sentinel,
+                capabilities=(
+                    Capability.MIP | Capability.SPARSE | Capability.WARM_START
+                ),
+                variants=("fast",),
+            ),
+        )
+        # Earlier registrations still win every query they can satisfy...
+        assert find_backend(Capability.MIP) == "scipy"
+        query = (
+            Capability.MIP
+            | Capability.INCREMENTAL_ROWS
+            | Capability.WARM_START
+        )
+        assert find_backend(query) == "python:simplex-warm"
+        # ...and the new entry answers what only it supports.
+        assert find_backend(Capability.SPARSE | Capability.WARM_START) == "custom"
+        assert get_backend("custom") is sentinel
+        assert get_backend("custom:fast") is sentinel
+        with pytest.raises(ValueError, match="does not support variant"):
+            get_backend("custom:slow")

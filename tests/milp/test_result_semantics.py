@@ -240,7 +240,13 @@ class TestSolveManyFallback:
         from repro.milp import backend as backend_registry
 
         monkeypatch.setitem(
-            backend_registry._BACKENDS, "plain", self._PlainBackend
+            backend_registry._REGISTRY,
+            "plain",
+            backend_registry.BackendSpec(
+                name="plain",
+                factory=lambda variant: self._PlainBackend(),
+                capabilities=backend_registry.Capability.MIP,
+            ),
         )
         return "plain"
 

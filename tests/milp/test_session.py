@@ -1,0 +1,402 @@
+"""SolverSession property tests: incremental solves == from-scratch solves.
+
+The session contract is behavioral: after any sequence of incremental
+modifications (tightened bounds, appended rows, swapped objectives,
+fixed ReLU phases), :meth:`SolverSession.solve` must report the same
+status and optimum as exporting a *fresh* :class:`Model` that carries
+all accumulated modifications.  These tests assert that equivalence on
+random LP/MILP instances for every session-capable backend, plus the
+neuron-splitting semantics of :meth:`SolverSession.fix_relu_phase` end
+to end on an encoded network.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounds import Box
+from repro.encoding import encode_single_network
+from repro.milp import Model, SolveStatus, as_expr, open_session
+from repro.milp.session import solve_objectives as session_solve_objectives
+from repro.nn.affine import AffineLayer
+
+#: (backend, warm_start) triples every parity test runs under: the
+#: sparse scipy shim, the dense cold B&B session, and the native warm
+#: simplex session.
+SESSION_BACKENDS = [
+    ("scipy", False),
+    ("python:simplex", False),
+    ("python:simplex", True),
+]
+
+
+class RandomInstance:
+    """A feasible-by-construction random LP/MILP.
+
+    ``x0`` is an interior point every constraint is anchored on, so the
+    instance stays feasible under any bound tightening toward ``x0`` —
+    parity tests compare *optimal* solves, not a pile of infeasibilities.
+    """
+
+    def __init__(self, seed: int, n: int = 5, m: int = 3, n_bin: int = 0):
+        rng = np.random.default_rng(seed)
+        self.n, self.m, self.n_bin = n, m, n_bin
+        self.lo = rng.uniform(-2.0, 0.0, n)
+        self.hi = self.lo + rng.uniform(0.5, 2.5, n)
+        self.lo[:n_bin] = 0.0
+        self.hi[:n_bin] = 1.0
+        self.x0 = rng.uniform(self.lo, self.hi)
+        self.x0[:n_bin] = rng.integers(0, 2, n_bin)
+        self.A = rng.standard_normal((m, n))
+        self.senses = rng.choice(np.array(["<=", ">=", "=="]), size=m,
+                                 p=[0.5, 0.3, 0.2])
+        slack = rng.uniform(0.1, 1.0, m)
+        self.b = self.A @ self.x0
+        self.b[self.senses == "<="] += slack[self.senses == "<="]
+        self.b[self.senses == ">="] -= slack[self.senses == ">="]
+        self.c = rng.standard_normal(n)
+        self.constant = float(rng.standard_normal())
+        self.sense = "min" if rng.integers(0, 2) == 0 else "max"
+        self.rng = rng
+
+    def build(self, lo=None, hi=None, extra_rows=(), c=None, sense=None,
+              constant=None):
+        """A fresh model carrying the given accumulated modifications."""
+        model = Model()
+        lo = self.lo if lo is None else lo
+        hi = self.hi if hi is None else hi
+        xs = [
+            model.add_var(
+                lb=float(lo[j]), ub=float(hi[j]),
+                vtype="binary" if j < self.n_bin else "continuous",
+            )
+            for j in range(self.n)
+        ]
+        model.add_linear_rows(self.A, list(self.senses), self.b)
+        for coeffs, senses, rhs in extra_rows:
+            model.add_linear_rows(coeffs, senses, rhs)
+        obj_c = self.c if c is None else c
+        obj_constant = self.constant if constant is None else constant
+        model.set_objective(
+            linexpr(xs, obj_c, obj_constant), sense or self.sense
+        )
+        return model, xs
+
+    def tighten(self):
+        """Random bound tightening that keeps ``x0`` feasible."""
+        t_lo = self.rng.uniform(0.0, 1.0, self.n)
+        t_hi = self.rng.uniform(0.0, 1.0, self.n)
+        lo = self.lo + t_lo * (self.x0 - self.lo)
+        hi = self.hi - t_hi * (self.hi - self.x0)
+        lo[:self.n_bin] = np.floor(lo[:self.n_bin])
+        hi[:self.n_bin] = np.ceil(hi[:self.n_bin])
+        return lo, hi
+
+    def random_rows(self, k: int = 2):
+        """A feasible-at-``x0`` appended row block (mixed senses)."""
+        coeffs = self.rng.standard_normal((k, self.n))
+        senses = self.rng.choice(np.array(["<=", ">=", "=="]), size=k)
+        slack = self.rng.uniform(0.1, 1.0, k)
+        rhs = coeffs @ self.x0
+        rhs[senses == "<="] += slack[senses == "<="]
+        rhs[senses == ">="] -= slack[senses == ">="]
+        return coeffs, list(senses), rhs
+
+
+def linexpr(xs, c, constant=0.0):
+    expr = as_expr(float(constant))
+    for x, coeff in zip(xs, c):
+        expr = expr + float(coeff) * x
+    return expr
+
+
+def assert_same_answer(result, reference):
+    __tracebackhide__ = True
+    assert result.status == reference.status, (
+        f"session status {result.status} != fresh {reference.status}"
+    )
+    if reference.status is SolveStatus.OPTIMAL:
+        assert result.objective == pytest.approx(
+            reference.objective, rel=1e-6, abs=1e-7
+        )
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=10, deadline=None)
+def test_bound_tightening_matches_fresh(seed):
+    inst = RandomInstance(seed)
+    model, xs = inst.build()
+    obj = linexpr(xs, inst.c, inst.constant)
+    model.set_objective(obj, inst.sense)
+    sessions = [
+        open_session(model, backend=b, warm_start=w)
+        for b, w in SESSION_BACKENDS
+    ]
+    for _ in range(3):
+        lo, hi = inst.tighten()
+        fresh_model, fxs = inst.build(lo=lo, hi=hi)
+        fresh_model.set_objective(linexpr(fxs, inst.c, inst.constant),
+                                  inst.sense)
+        reference = fresh_model.solve()
+        for session in sessions:
+            session.set_var_bounds(list(range(inst.n)), lo, hi)
+            assert_same_answer(session.solve(), reference)
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=10, deadline=None)
+def test_appended_rows_match_fresh(seed):
+    inst = RandomInstance(seed)
+    model, xs = inst.build()
+    model.set_objective(linexpr(xs, inst.c, inst.constant), inst.sense)
+    sessions = [
+        open_session(model, backend=b, warm_start=w)
+        for b, w in SESSION_BACKENDS
+    ]
+    accumulated = []
+    for round_index in range(3):
+        block = inst.random_rows()
+        accumulated.append(block)
+        fresh_model, fxs = inst.build(extra_rows=accumulated)
+        fresh_model.set_objective(linexpr(fxs, inst.c, inst.constant),
+                                  inst.sense)
+        reference = fresh_model.solve()
+        for session in sessions:
+            coeffs, senses, rhs = block
+            if round_index == 1:
+                # Exercise the COO-triplet input path too.
+                r, col = np.nonzero(coeffs)
+                session.append_rows(
+                    (coeffs[r, col], (r, col)), senses, rhs
+                )
+            else:
+                session.append_rows(coeffs, senses, rhs)
+            assert_same_answer(session.solve(), reference)
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=10, deadline=None)
+def test_objective_swaps_match_fresh(seed):
+    inst = RandomInstance(seed)
+    model, xs = inst.build()
+    model.set_objective(linexpr(xs, inst.c, inst.constant), inst.sense)
+    sessions = [
+        open_session(model, backend=b, warm_start=w)
+        for b, w in SESSION_BACKENDS
+    ]
+    for _ in range(3):
+        c = inst.rng.standard_normal(inst.n)
+        constant = float(inst.rng.standard_normal())
+        sense = "min" if inst.rng.integers(0, 2) == 0 else "max"
+        fresh_model, fxs = inst.build()
+        fresh_model.set_objective(linexpr(fxs, c, constant), sense)
+        reference = fresh_model.solve()
+        for session in sessions:
+            session.set_objective(linexpr(xs, c, constant), sense)
+            assert_same_answer(session.solve(), reference)
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=8, deadline=None)
+def test_milp_incremental_matches_fresh(seed):
+    """Tighten + append + swap, interleaved, on instances with binaries."""
+    inst = RandomInstance(seed, n=5, m=2, n_bin=2)
+    model, xs = inst.build()
+    model.set_objective(linexpr(xs, inst.c, inst.constant), inst.sense)
+    sessions = [
+        open_session(model, backend=b, warm_start=w)
+        for b, w in SESSION_BACKENDS
+    ]
+    lo, hi = inst.tighten()
+    block = inst.random_rows(k=1)
+    c = inst.rng.standard_normal(inst.n)
+
+    fresh_model, fxs = inst.build(lo=lo, hi=hi, extra_rows=[block])
+    fresh_model.set_objective(linexpr(fxs, c, inst.constant), "max")
+    reference = fresh_model.solve()
+    for session in sessions:
+        session.set_var_bounds(list(range(inst.n)), lo, hi)
+        session.append_rows(*block)
+        session.set_objective(linexpr(xs, c, inst.constant), "max")
+        assert_same_answer(session.solve(), reference)
+        # Re-solving an unchanged session is idempotent (warm re-entry
+        # must not drift).
+        assert_same_answer(session.solve(), reference)
+
+
+@pytest.mark.parametrize("backend,warm", SESSION_BACKENDS)
+def test_conflicting_bounds_report_infeasible(backend, warm):
+    inst = RandomInstance(0)
+    model, xs = inst.build()
+    model.set_objective(linexpr(xs, inst.c), inst.sense)
+    session = open_session(model, backend=backend, warm_start=warm)
+    session.set_var_bounds([0], 1.0, -1.0)
+    assert session.solve().status is SolveStatus.INFEASIBLE
+    # Restoring sane bounds revives the session.
+    session.set_var_bounds([0], inst.lo[0], inst.hi[0])
+    assert session.solve().status is SolveStatus.OPTIMAL
+
+
+def test_session_solve_objectives_falls_back_without_sessions():
+    """Sessionless third-party backends keep working via solve_many."""
+    from repro.milp.scipy_backend import ScipyBackend
+
+    class PlainBackend:
+        name = "plain"
+
+        def solve(self, model, time_limit=None, mip_gap=None):
+            return ScipyBackend().solve(
+                model, time_limit=time_limit, mip_gap=mip_gap
+            )
+
+    inst = RandomInstance(5)
+    model, xs = inst.build()
+    objectives = [
+        (linexpr(xs, inst.c), "min"),
+        (linexpr(xs, inst.c), "max"),
+    ]
+    via_plain = session_solve_objectives(model, objectives,
+                                         backend=PlainBackend())
+    via_scipy = session_solve_objectives(model, objectives, backend="scipy")
+    for plain, scipy_result in zip(via_plain, via_scipy):
+        assert plain.status is SolveStatus.OPTIMAL
+        assert plain.objective == pytest.approx(scipy_result.objective,
+                                                rel=1e-7, abs=1e-9)
+
+
+# -- ReLU phase fixing / the neuron-splitting tier seed ------------------
+
+
+def relu_net(seed: int = 3, width: int = 4):
+    """A 2-4-1 net over [-1, 1]^2 with at least one unstable neuron."""
+    rng = np.random.default_rng(seed)
+    layers = [
+        AffineLayer(
+            rng.standard_normal((width, 2)),
+            0.3 * rng.standard_normal(width),
+            relu=True,
+        ),
+        AffineLayer(
+            rng.standard_normal((1, width)),
+            np.zeros(1),
+            relu=False,
+        ),
+    ]
+    return layers, Box.uniform(2, -1.0, 1.0)
+
+
+def encoded(layers, box, relax_mask=None):
+    enc = encode_single_network(layers, box, relax_mask=relax_mask)
+    return enc
+
+
+def first_unstable(enc):
+    unstable = [
+        key for key, (_, _, z) in sorted(enc.relu_vars.items())
+        if z is not None
+    ]
+    assert unstable, "test net must have an unstable neuron"
+    return unstable[0]
+
+
+@pytest.mark.parametrize("backend,warm", SESSION_BACKENDS)
+def test_fix_relu_phase_matches_fresh_indicator_fix(backend, warm):
+    """z-based phase fixes equal from-scratch models with z pinned."""
+    layers, box = relu_net()
+    enc = encoded(layers, box)
+    key = first_unstable(enc)
+    objective = (as_expr(enc.output[0]), "max")
+    session = open_session(
+        enc.model, backend=backend, relu_info=enc.relu_vars, warm_start=warm
+    )
+    session.set_objective(*objective)
+    unfixed = session.solve()
+    assert unfixed.status is SolveStatus.OPTIMAL
+
+    branch_optima = []
+    for phase, z_value in (("active", 1.0), ("inactive", 0.0)):
+        session.fix_relu_phase(*key, phase)
+        got = session.solve()
+        fresh = encoded(layers, box)
+        z_index = fresh.relu_vars[key][2]
+        fresh.model.add_constr(
+            as_expr(fresh.model.variables[z_index]) == z_value
+        )
+        fresh.model.set_objective(as_expr(fresh.output[0]), "max")
+        assert_same_answer(got, fresh.model.solve())
+        if got.status is SolveStatus.OPTIMAL:
+            branch_optima.append(got.objective)
+
+    # Release: the indicator fix is reversible and restores the optimum.
+    session.fix_relu_phase(*key, None)
+    released = session.solve()
+    assert released.objective == pytest.approx(unfixed.objective, rel=1e-6)
+
+    # End-to-end neuron split: the two branches are exhaustive, so the
+    # best branch optimum IS the unbranched optimum.
+    assert max(branch_optima) == pytest.approx(unfixed.objective, rel=1e-6)
+
+
+def test_neuron_split_tightens_lp_relaxation_soundly():
+    """Branching a relaxed neuron via sign rows: sound and no looser.
+
+    The neuron-splitting certification step on the LP relaxation: the
+    triangle-relaxed upper bound of the output is replaced by the max of
+    the two phase-fixed branch bounds.  That max must (a) still dominate
+    the exact MILP optimum — soundness — and (b) not exceed the
+    unbranched relaxed bound — the split can only tighten.
+    """
+    layers, box = relu_net()
+    exact_enc = encoded(layers, box)
+    key = first_unstable(exact_enc)
+    exact_enc.model.set_objective(as_expr(exact_enc.output[0]), "max")
+    exact_opt = exact_enc.model.solve().objective
+
+    relax_mask = [
+        np.ones(layer.out_dim, dtype=bool) for layer in layers
+    ]
+    relaxed = encoded(layers, box, relax_mask=relax_mask)
+    relaxed.model.set_objective(as_expr(relaxed.output[0]), "max")
+    relaxed_ub = relaxed.model.solve().objective
+
+    branch_bounds = []
+    for phase in ("active", "inactive"):
+        enc = encoded(layers, box, relax_mask=relax_mask)
+        session = open_session(
+            enc.model, backend="python:simplex", relu_info=enc.relu_vars,
+            warm_start=True,
+        )
+        assert enc.relu_vars[key][2] is None  # relaxed: no indicator
+        before = session.num_appended_rows
+        session.fix_relu_phase(*key, phase)
+        assert session.num_appended_rows == before + 2
+        # Re-fixing the same phase is a no-op; flipping or releasing a
+        # row-based fix is impossible and must say so.
+        session.fix_relu_phase(*key, phase)
+        assert session.num_appended_rows == before + 2
+        other = "inactive" if phase == "active" else "active"
+        with pytest.raises(ValueError, match="cannot be flipped"):
+            session.fix_relu_phase(*key, other)
+        with pytest.raises(ValueError, match="cannot be released"):
+            session.fix_relu_phase(*key, None)
+        session.set_objective(as_expr(enc.output[0]), "max")
+        result = session.solve()
+        assert result.status is SolveStatus.OPTIMAL
+        branch_bounds.append(result.objective)
+
+    split_ub = max(branch_bounds)
+    assert split_ub >= exact_opt - 1e-6  # sound
+    assert split_ub <= relaxed_ub + 1e-6  # never looser than no split
+
+
+def test_fix_relu_phase_requires_metadata():
+    layers, box = relu_net()
+    enc = encoded(layers, box)
+    session = open_session(enc.model, backend="scipy")  # no relu_info
+    with pytest.raises(ValueError, match="no ReLU metadata"):
+        session.fix_relu_phase(0, 0, "active")
+    with_info = open_session(enc.model, backend="scipy",
+                             relu_info=enc.relu_vars)
+    with pytest.raises(ValueError, match="unknown ReLU phase"):
+        with_info.fix_relu_phase(*first_unstable(enc), "sideways")

@@ -50,7 +50,11 @@ def test_certification_sandwich(seed, depth, width, delta):
         layers, CertifierConfig(window=2, refine_count=0)
     ).certify(box, delta)
 
-    assert ours.epsilon >= exact.epsilon - 1e-7
+    # The exact MILP terminates within HiGHS's default relative MIP gap
+    # (1e-4) and the over-approximation comes from separate HiGHS runs,
+    # so the sandwich holds only up to that relative fuzz (seed 90 at
+    # δ=0.01 violates an absolute 1e-7 comparison by 6.6e-7).
+    assert ours.epsilon >= exact.epsilon - max(1e-7, 2e-4 * exact.epsilon)
 
     rng = np.random.default_rng(seed + 1)
     worst = 0.0
@@ -75,8 +79,12 @@ def test_refinement_never_loosens(seed):
             layers, CertifierConfig(window=2, refine_count=refine)
         ).certify(box, 0.05)
         eps.append(cert.epsilon)
-    assert eps[1] <= eps[0] + 1e-8
-    assert eps[2] <= eps[1] + 1e-8
+    # Monotonicity holds up to LP solver tolerance only: each chain of
+    # LpRelaxY solves is an independent HiGHS run whose optimal-face
+    # answers wobble at the ~1e-6 level (seeds 92 / 685957 violate a
+    # 1e-8 comparison on the unrefined-vs-refined pair).
+    assert eps[1] <= eps[0] + 1e-5
+    assert eps[2] <= eps[1] + 1e-5
 
 
 @given(seed=st.integers(0, 10**6))
