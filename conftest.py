@@ -1,0 +1,3 @@
+# Root conftest: puts the repository root on sys.path so the test suite
+# can import the in-repo tooling package (`tools.analysis`) regardless
+# of how pytest was invoked (`pytest` vs `python -m pytest`).

@@ -23,6 +23,8 @@ The low-level :func:`propagate_box` / :func:`propagate_twin_box`
 functions remain as the IBP engine's implementation.
 """
 
+from __future__ import annotations
+
 from repro.bounds.interval import Box
 from repro.bounds.ibp import propagate_box
 from repro.bounds.twin_ibp import TwinBounds, propagate_twin_box, relu_distance_interval

@@ -8,7 +8,7 @@ from repro.nn.affine import AffineLayer
 
 def propagate_box(
     layers: list[AffineLayer], input_box: Box, collect: bool = False
-):
+) -> "Box | tuple[Box, list[Box]]":
     """Propagate an input box through an affine chain.
 
     Args:

@@ -128,7 +128,7 @@ class Box:
             return NotImplemented
         return Box(self.lo - other.hi, self.hi - other.lo)
 
-    def __getitem__(self, idx) -> "Box":
+    def __getitem__(self, idx: "int | slice | np.ndarray") -> "Box":
         """Sub-box over selected coordinates."""
         return Box(np.atleast_1d(self.lo[idx]), np.atleast_1d(self.hi[idx]))
 

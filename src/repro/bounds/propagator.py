@@ -25,7 +25,10 @@ propagator can only shrink downstream relaxations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bounds.ranges import RangeTable
 
 import numpy as np
 
@@ -64,6 +67,19 @@ class LayerBounds:
     dy: list[Box] | None = None
     dx: list[Box] | None = None
     method: str = ""
+
+    def __post_init__(self) -> None:
+        # Copy the ingested *lists* (RPR002): a caller appending to or
+        # reordering the list it passed in must not retroactively edit
+        # these bounds.  The Box elements themselves are shared — every
+        # producer hands over freshly built boxes and all consumers
+        # treat them as read-only.
+        self.y = list(self.y)
+        self.x = list(self.x)
+        if self.dy is not None:
+            self.dy = list(self.dy)
+        if self.dx is not None:
+            self.dx = list(self.dx)
 
     @property
     def num_layers(self) -> int:
@@ -153,7 +169,7 @@ class LayerBounds:
         dist = self.output_distance
         return np.maximum(np.abs(dist.lo), np.abs(dist.hi))
 
-    def to_range_table(self):
+    def to_range_table(self) -> "RangeTable":
         """Convert to the mutable :class:`~repro.bounds.ranges.RangeTable`.
 
         Requires distance bounds (the table tracks ``Δy``/``Δx``).

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import _sanitize
 from repro.bounds.interval import Box
 from repro.bounds.propagator import (
     IBPPropagator,
@@ -182,6 +183,11 @@ class SymbolicPropagator:
         for t, layer in enumerate(layers):
             lo, hi = _backsubstitute(layers, t, input_box, value_relax, with_bias=True)
             y_box = Box(lo, hi).intersect(ibp.y[t])
+            if _sanitize.ENABLED:
+                _sanitize.check_containment(
+                    y_box.lo, y_box.hi, ibp.y[t].lo, ibp.y[t].hi,
+                    f"symbolic y[{t}] vs ibp",
+                )
             y_boxes.append(y_box)
             if layer.relu:
                 x_boxes.append(y_box.relu())
@@ -204,6 +210,11 @@ class SymbolicPropagator:
                 layers, t, delta_box, dist_relax, with_bias=False
             )
             dy_box = Box(lo, hi).intersect(ibp.dy[t])
+            if _sanitize.ENABLED:
+                _sanitize.check_containment(
+                    dy_box.lo, dy_box.hi, ibp.dy[t].lo, ibp.dy[t].hi,
+                    f"symbolic dy[{t}] vs ibp",
+                )
             dy_boxes.append(dy_box)
             if layer.relu:
                 dx_box = relu_distance_interval(y_boxes[t], dy_box)
@@ -211,7 +222,13 @@ class SymbolicPropagator:
             else:
                 dx_box = Box(dy_box.lo.copy(), dy_box.hi.copy())
                 dist_relax.append(_identity_relaxation(layer.out_dim))
-            dx_boxes.append(dx_box.intersect(ibp.dx[t]))
+            dx_box = dx_box.intersect(ibp.dx[t])
+            if _sanitize.ENABLED:
+                _sanitize.check_containment(
+                    dx_box.lo, dx_box.hi, ibp.dx[t].lo, ibp.dx[t].hi,
+                    f"symbolic dx[{t}] vs ibp",
+                )
+            dx_boxes.append(dx_box)
 
         return LayerBounds(
             input_box=input_box,

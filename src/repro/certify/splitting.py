@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import _sanitize
 from repro.bounds.interval import Box
 from repro.bounds.propagator import LayerBounds, get_propagator
 from repro.certify.presolve import (
@@ -753,6 +754,18 @@ class _SplitRun:
         else:
             verdict = "certified"
             epsilons = self._sound_upper_bound()
+        if _sanitize.ENABLED and refuted_eps is None:
+            # A refuting witness short-circuits leaf processing, so only
+            # non-refuted verdicts promise a complete tiling — and for
+            # those it is the soundness argument: a gap would be an
+            # unexplored part of the domain under a "certified" stamp.
+            terminal = [box for box, _, _ in self.proved]
+            terminal += [box for box, _ in self.undecided]
+            _sanitize.check_tiling(
+                self.root.lo, self.root.hi,
+                ((box.lo, box.hi) for box in terminal),
+                f"split-tier terminal subdomains ({verdict})",
+            )
         return {
             "verdict": verdict,
             "epsilons": np.asarray(epsilons, dtype=float),

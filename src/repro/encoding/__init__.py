@@ -14,6 +14,8 @@ Implements the paper's §II-B/§II-C machinery:
   enabling per-neuron choice of exact vs. relaxed encodings.
 """
 
+from __future__ import annotations
+
 from repro.encoding.assembly import RowBlockBuilder, affine_link_rows, row_dot
 from repro.encoding.bigm import encode_relu_exact, relu_exact_rows
 from repro.encoding.btne import BtneEncoding, encode_btne

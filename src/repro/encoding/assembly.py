@@ -19,6 +19,8 @@ dicts anywhere.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 import numpy as np
 
 from repro.milp.expr import LinExpr, Var
@@ -55,7 +57,13 @@ class RowBlockBuilder:
         self._senses: list[Sense] = []
         self._rhs: list[float] = []
 
-    def add(self, cols, vals, sense: Sense, rhs: float) -> None:
+    def add(
+        self,
+        cols: Iterable[int],
+        vals: Iterable[float],
+        sense: Sense,
+        rhs: float,
+    ) -> None:
         """Append one row ``sum vals[i]·x[cols[i]]  sense  rhs``."""
         cols = list(cols)
         self._cols.extend(cols)
@@ -138,6 +146,7 @@ def affine_link_rows(
         vals = -w_sub * np.asarray(hcoefs)[None, :]
         rhs = bias + weight @ consts if consts.any() else bias
 
+    # repro-lint: ignore[RPR001] — structural COO sparsity mask: exact zeros carry no information; a tolerance would silently delete small weights from the encoding
     mask = w_sub != 0.0
     rows_w, entries = np.nonzero(mask)
     out_idx = np.fromiter((v.index for v in out_vars), dtype=np.int64, count=m_out)
@@ -162,6 +171,7 @@ def row_dot(
     direct_vars: list[Var] = []
     direct_w: list[float] = []
     for w, h in zip(weights, handles):
+        # repro-lint: ignore[RPR001] — structural exact-zero skip, mirroring the mask in affine_link_rows: both assembly paths must drop exactly the same (zero) terms to stay bit-identical
         if w == 0.0:
             continue
         if isinstance(h, Var):

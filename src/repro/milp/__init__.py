@@ -34,6 +34,8 @@ Typical usage::
     print(result[x], result[z])
 """
 
+from __future__ import annotations
+
 from repro.milp.expr import LinExpr, Var, VType, as_expr
 from repro.milp.model import Constraint, ConstraintBlock, Model, Sense
 from repro.milp.solution import SolveResult, SolveStatus

@@ -121,7 +121,7 @@ def backend_capabilities(name: str) -> Capability:
     return spec.caps_for(variant)
 
 
-def get_backend(name: "str | object" = "scipy"):
+def get_backend(name: "str | object" = "scipy") -> object:
     """Resolve a backend: a registry name or an instance (passed through).
 
     Args:

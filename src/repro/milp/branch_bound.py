@@ -25,6 +25,13 @@ import scipy.optimize as sopt
 from repro.milp import simplex
 from repro.milp.solution import SolveResult, SolveStatus, finalize_user_sense
 
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.milp.expr import LinExpr, Var
+    from repro.milp.model import Model
+    from repro.milp.session import SolverSession
+
 _INT_TOL = 1e-6
 
 
@@ -75,7 +82,12 @@ class BranchBoundBackend:
 
     # -- public API ---------------------------------------------------------
 
-    def solve(self, model, time_limit=None, mip_gap=None) -> SolveResult:
+    def solve(
+        self,
+        model: "Model",
+        time_limit: float | None = None,
+        mip_gap: float | None = None,
+    ) -> SolveResult:
         """Solve ``model``; see :meth:`repro.milp.model.Model.solve`."""
         c, a_ub, b_ub, a_eq, b_eq, bounds, integrality = model.to_standard_form(
             sparse=self.lp_solver == "highs"
@@ -87,7 +99,12 @@ class BranchBoundBackend:
             result, model.objective_sense, model.objective.constant
         )
 
-    def solve_objectives(self, model, objectives, time_limit=None) -> list[SolveResult]:
+    def solve_objectives(
+        self,
+        model: "Model",
+        objectives: 'Sequence[tuple["LinExpr | Var", str]]',
+        time_limit: float | None = None,
+    ) -> list[SolveResult]:
         """Multi-objective fast path: export matrices once, swap ``c``.
 
         Mirrors :meth:`ScipyBackend.solve_objectives` so Algorithm 1's
@@ -118,7 +135,12 @@ class BranchBoundBackend:
             results.append(finalize_user_sense(res, sense, expr.constant))
         return results
 
-    def open_session(self, model, relu_info=None, warm_start: bool = False):
+    def open_session(
+        self,
+        model: "Model",
+        relu_info: object = None,
+        warm_start: bool = False,
+    ) -> "SolverSession":
         """Open an incremental :class:`~repro.milp.session.SolverSession`.
 
         With ``lp_solver="simplex"`` and warm starting requested (here or
@@ -147,17 +169,17 @@ class BranchBoundBackend:
 
     def _solve_std(
         self,
-        c,
-        a_ub,
-        b_ub,
-        a_eq,
-        b_eq,
-        bounds,
-        integrality,
-        time_limit,
-        mip_gap,
-        prepared=None,
-        warm_basis=None,
+        c: np.ndarray,
+        a_ub: object,
+        b_ub: np.ndarray,
+        a_eq: object,
+        b_eq: np.ndarray,
+        bounds: list[tuple[float, float]],
+        integrality: np.ndarray,
+        time_limit: float | None,
+        mip_gap: float | None,
+        prepared: "simplex.PreparedLp | None" = None,
+        warm_basis: "list[int] | None" = None,
         basis_sink: dict | None = None,
     ) -> SolveResult:
         """Run branch-and-bound on a minimization-sense standard form."""
@@ -173,8 +195,17 @@ class BranchBoundBackend:
         return result
 
     def _solve_relaxation(
-        self, c, a_ub, b_ub, a_eq, b_eq, lo, hi, prepared=None, basis=None
-    ):
+        self,
+        c: np.ndarray,
+        a_ub: object,
+        b_ub: np.ndarray,
+        a_eq: object,
+        b_eq: np.ndarray,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        prepared: "simplex.PreparedLp | None" = None,
+        basis: "list[int] | None" = None,
+    ) -> tuple[SolveStatus, float, np.ndarray, "list[int] | None", int]:
         """LP-relax with the configured engine.
 
         Returns ``(status, obj, x, basis, iterations)``; ``basis`` is a
@@ -210,17 +241,17 @@ class BranchBoundBackend:
 
     def _branch_and_bound(
         self,
-        c,
-        a_ub,
-        b_ub,
-        a_eq,
-        b_eq,
-        bounds,
-        integrality,
-        time_limit,
-        mip_gap,
-        prepared=None,
-        warm_basis=None,
+        c: np.ndarray,
+        a_ub: object,
+        b_ub: np.ndarray,
+        a_eq: object,
+        b_eq: np.ndarray,
+        bounds: list[tuple[float, float]],
+        integrality: np.ndarray,
+        time_limit: float | None,
+        mip_gap: float | None,
+        prepared: "simplex.PreparedLp | None" = None,
+        warm_basis: "list[int] | None" = None,
         basis_sink: dict | None = None,
     ) -> SolveResult:
         int_cols = np.flatnonzero(integrality)
@@ -336,7 +367,14 @@ class BranchBoundBackend:
         return int(int_cols[best])
 
     @staticmethod
-    def _finish(obj, x, nodes, fail_status, heap, lp_iters: int = 0) -> SolveResult:
+    def _finish(
+        obj: float,
+        x: "np.ndarray | None",
+        nodes: int,
+        fail_status: SolveStatus,
+        heap: "list[_Node]",
+        lp_iters: int = 0,
+    ) -> SolveResult:
         """Wrap up: report the incumbent if any, else the failure status.
 
         The sound dual bound is the minimum over the open nodes' LP

@@ -10,7 +10,12 @@ from __future__ import annotations
 
 import enum
 import math
-from typing import Iterable, Mapping, Union
+from typing import TYPE_CHECKING, Iterable, Mapping, Union
+
+from repro.tol import near_zero
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.milp.model import Constraint
 
 Number = Union[int, float]
 
@@ -115,13 +120,13 @@ class Var:
 
     # -- comparisons build constraints ----------------------------------
 
-    def __le__(self, other):  # noqa: D105 - builds a Constraint
+    def __le__(self, other: "Var | LinExpr | Number") -> "Constraint":  # noqa: D105 - builds a Constraint
         return self.to_expr() <= other
 
-    def __ge__(self, other):  # noqa: D105
+    def __ge__(self, other: "Var | LinExpr | Number") -> "Constraint":  # noqa: D105
         return self.to_expr() >= other
 
-    def __eq__(self, other):  # noqa: D105
+    def __eq__(self, other: object) -> "Constraint":  # type: ignore[override]  # noqa: D105 - builds a Constraint, not a bool
         return self.to_expr() == other
 
     def __hash__(self) -> int:
@@ -191,6 +196,7 @@ class LinExpr:
         vars_map: dict[int, Var] = {}
         for var, weight in zip(variables, weights):
             w = float(weight)
+            # repro-lint: ignore[RPR001] — structural sparsity pruning: only exactly-zero weights may be dropped; a tolerance here would change the model
             if w == 0.0:
                 continue
             idx = var.index
@@ -216,8 +222,13 @@ class LinExpr:
         return self.coeffs.get(var.index, 0.0)
 
     def is_constant(self) -> bool:
-        """True when the expression has no variable terms."""
-        return all(abs(c) == 0.0 for c in self.coeffs.values())
+        """True when the expression has no (numerically relevant) variable terms.
+
+        Tolerance-aware: coefficients below the repo-wide jitter budget
+        (:data:`repro.tol.ATOL`) — e.g. residues of catastrophic
+        cancellation in ``a - a`` chains — count as absent.
+        """
+        return all(near_zero(c) for c in self.coeffs.values())
 
     def __len__(self) -> int:
         return len(self.coeffs)
@@ -281,17 +292,17 @@ class LinExpr:
 
     # -- comparison -> Constraint ---------------------------------------
 
-    def __le__(self, other):
+    def __le__(self, other: "Var | LinExpr | Number") -> "Constraint":
         from repro.milp.model import Constraint, Sense
 
         return Constraint._from_sides(self, self._as_expr(other), Sense.LE)
 
-    def __ge__(self, other):
+    def __ge__(self, other: "Var | LinExpr | Number") -> "Constraint":
         from repro.milp.model import Constraint, Sense
 
         return Constraint._from_sides(self, self._as_expr(other), Sense.GE)
 
-    def __eq__(self, other):  # noqa: D105 - builds a Constraint
+    def __eq__(self, other: object) -> "Constraint":  # type: ignore[override]  # noqa: D105 - builds a Constraint, not a bool
         from repro.milp.model import Constraint, Sense
 
         return Constraint._from_sides(self, self._as_expr(other), Sense.EQ)

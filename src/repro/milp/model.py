@@ -5,10 +5,14 @@ from __future__ import annotations
 import enum
 import itertools
 import math
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.milp.session import SolverSession
 
 import numpy as np
 
+from repro import _sanitize
 from repro.milp.expr import LinExpr, Number, Var, VType
 from repro.milp.solution import SolveResult, SolveStatus
 
@@ -49,7 +53,7 @@ class Constraint:
         diff.constant = 0.0
         return cls(diff, sense, -const)
 
-    def violation(self, assignment) -> float:
+    def violation(self, assignment: "Mapping[int, float]") -> float:
         """Amount by which the constraint is violated (0 when satisfied)."""
         lhs = self.expr.value(assignment)
         if self.sense is Sense.LE:
@@ -96,12 +100,21 @@ class ConstraintBlock:
         rhs: np.ndarray,
         name: str = "",
     ) -> None:
-        self.data = data
-        self.row = row
-        self.col = col
-        self.is_eq = is_eq
-        self.rhs = rhs
+        # Copy on ingest (RPR002): the block owns its arrays outright,
+        # so neither a caller mutating its triplets afterwards nor the
+        # sense normalization in add_linear_rows (which negates block-
+        # owned entries in place) can alias foreign memory — the same
+        # hazard class as the PR-1 ``Box.__post_init__`` bug.
+        self.data = np.array(data, dtype=float, copy=True)
+        self.row = np.array(row, dtype=np.int64, copy=True)
+        self.col = np.array(col, dtype=np.int64, copy=True)
+        self.is_eq = np.array(is_eq, dtype=bool, copy=True)
+        self.rhs = np.array(rhs, dtype=float, copy=True)
         self.name = name
+        if not (self.data.shape == self.row.shape == self.col.shape):
+            raise ValueError("COO triplet arrays must have matching lengths")
+        if self.is_eq.shape != self.rhs.shape:
+            raise ValueError("is_eq and rhs must have one entry per row")
 
     @property
     def num_rows(self) -> int:
@@ -114,14 +127,9 @@ class ConstraintBlock:
         return int(self.data.shape[0])
 
     def copy(self) -> "ConstraintBlock":
-        """Independent copy (arrays are duplicated)."""
+        """Independent copy (the constructor's copy-on-ingest duplicates)."""
         return ConstraintBlock(
-            self.data.copy(),
-            self.row.copy(),
-            self.col.copy(),
-            self.is_eq.copy(),
-            self.rhs.copy(),
-            self.name,
+            self.data, self.row, self.col, self.is_eq, self.rhs, self.name
         )
 
     def activities(self, values: np.ndarray) -> np.ndarray:
@@ -271,9 +279,9 @@ class Model:
 
     def add_linear_rows(
         self,
-        coeffs,
-        senses,
-        rhs,
+        coeffs: object,
+        senses: "Sense | str | Sequence[Sense | str] | np.ndarray",
+        rhs: "float | Sequence[float] | np.ndarray",
         name: str = "",
     ) -> ConstraintBlock:
         """Append a whole block of linear rows in one array-native call.
@@ -308,11 +316,11 @@ class Model:
         n = self.num_vars
         if isinstance(coeffs, tuple):
             data, (row, col) = coeffs
-            # Copy on ingest: the block must not alias caller arrays
-            # (same hazard Box.__post_init__ guards against).
-            data = np.array(data, dtype=float, copy=True)
-            row = np.array(row, dtype=np.int64, copy=True)
-            col = np.array(col, dtype=np.int64, copy=True)
+            # No copies here: ConstraintBlock.__init__ copies on ingest,
+            # so the caller's triplet arrays are never aliased.
+            data = np.asarray(data, dtype=float)
+            row = np.asarray(row, dtype=np.int64)
+            col = np.asarray(col, dtype=np.int64)
             num_rows = self._block_row_count(senses, rhs, row)
         elif hasattr(coeffs, "tocoo"):
             if int(coeffs.shape[1]) != n:
@@ -321,11 +329,11 @@ class Model:
                     f"model has {n} variables"
                 )
             coo = coeffs.tocoo()
-            # tocoo() may share the caller's data array — copy so the
-            # GE negation below never writes through to the caller.
-            data = np.array(coo.data, dtype=float, copy=True)
-            row = np.array(coo.row, dtype=np.int64, copy=True)
-            col = np.array(coo.col, dtype=np.int64, copy=True)
+            # tocoo() may share the caller's data array; the block's
+            # copy-on-ingest constructor below makes that harmless.
+            data = np.asarray(coo.data, dtype=float)
+            row = np.asarray(coo.row, dtype=np.int64)
+            col = np.asarray(coo.col, dtype=np.int64)
             num_rows = int(coeffs.shape[0])
         else:
             dense = np.asarray(coeffs, dtype=float)
@@ -358,19 +366,21 @@ class Model:
         if not np.isfinite(rhs_arr).all():
             raise ValueError("block right-hand sides must be finite")
 
-        ge_rows = sense_codes == _SENSE_GE
-        if ge_rows.any():
-            flip = ge_rows[row]
-            data[flip] = -data[flip]
-            rhs_arr[ge_rows] = -rhs_arr[ge_rows]
         block = ConstraintBlock(
             data, row, col, sense_codes == _SENSE_EQ, rhs_arr, name
         )
+        # Normalize >= rows to <= form on the block's own (copied)
+        # arrays — the caller's inputs are already out of reach.
+        ge_rows = sense_codes == _SENSE_GE
+        if ge_rows.any():
+            flip = ge_rows[block.row]
+            block.data[flip] = -block.data[flip]
+            block.rhs[ge_rows] = -block.rhs[ge_rows]
         self._blocks.append(block)
         return block
 
     @staticmethod
-    def _block_row_count(senses, rhs, row: np.ndarray) -> int:
+    def _block_row_count(senses: object, rhs: object, row: np.ndarray) -> int:
         """Row count of a triplet block, from the rhs/senses length.
 
         Inferring it from ``row.max() + 1`` would silently drop trailing
@@ -389,10 +399,13 @@ class Model:
         )
 
     @staticmethod
-    def _coerce_senses(senses, num_rows: int) -> np.ndarray:
+    def _coerce_senses(
+        senses: "Sense | str | Sequence[Sense | str] | np.ndarray",
+        num_rows: int,
+    ) -> np.ndarray:
         """Normalize senses to an int code array (0 LE, 1 GE, 2 EQ)."""
 
-        def code(s) -> int:
+        def code(s: "Sense | str") -> int:
             if not isinstance(s, Sense):
                 s = Sense(str(s))
             return _SENSE_CODES[s]
@@ -457,7 +470,15 @@ class Model:
             c = -c
         return c, expr
 
-    def to_standard_form(self, sparse: bool = False):
+    def to_standard_form(self, sparse: bool = False) -> tuple[
+        np.ndarray,
+        object,
+        np.ndarray,
+        object,
+        np.ndarray,
+        list[tuple[float, float]],
+        np.ndarray,
+    ]:
         """Export ``(c, A_ub, b_ub, A_eq, b_eq, bounds, integrality)``.
 
         The objective vector ``c`` is always stated for *minimization*;
@@ -510,9 +531,13 @@ class Model:
             num_ub += int((~blk.is_eq).sum())
             num_eq += int(blk.is_eq.sum())
 
-        def block_parts(eq_side: bool):
+        def block_parts(
+            eq_side: bool,
+        ) -> list[tuple[np.ndarray, np.ndarray, np.ndarray, int, np.ndarray]]:
             """Triplets and rhs scatter for every block, one side."""
-            parts = []
+            parts: list[
+                tuple[np.ndarray, np.ndarray, np.ndarray, int, np.ndarray]
+            ] = []
             for blk, ub_off, eq_off, ub_rank, eq_rank in placements:
                 row_sel = blk.is_eq if eq_side else ~blk.is_eq
                 if not row_sel.any():
@@ -534,7 +559,11 @@ class Model:
         if sparse:
             import scipy.sparse as sp
 
-            def build(rows, total, eq_side):
+            def build(
+                rows: list[tuple[dict[int, float], float]],
+                total: int,
+                eq_side: bool,
+            ) -> tuple[object, np.ndarray]:
                 data: list[float] = []
                 row_idx: list[int] = []
                 col_idx: list[int] = []
@@ -564,7 +593,11 @@ class Model:
 
         else:
 
-            def build(rows, total, eq_side):
+            def build(
+                rows: list[tuple[dict[int, float], float]],
+                total: int,
+                eq_side: bool,
+            ) -> tuple[object, np.ndarray]:
                 mat = np.zeros((total, n))
                 vec = np.zeros(total)
                 for r, (coeffs, rhs) in enumerate(rows):
@@ -583,6 +616,17 @@ class Model:
             [0 if v.vtype is VType.CONTINUOUS else 1 for v in self.variables],
             dtype=int,
         )
+        if _sanitize.ENABLED:
+            # Variable *bounds* may be ±inf by design; every exported
+            # coefficient and right-hand side must be finite.
+            _sanitize.check_finite(
+                "Model.to_standard_form",
+                c=c,
+                a_ub=a_ub.data if sparse else a_ub,
+                b_ub=b_ub,
+                a_eq=a_eq.data if sparse else a_eq,
+                b_eq=b_eq,
+            )
         return c, a_ub, b_ub, a_eq, b_eq, bounds, integrality
 
     # -- solving ------------------------------------------------------------
@@ -649,9 +693,9 @@ class Model:
     def open_session(
         self,
         backend: str = "scipy",
-        relu_info=None,
+        relu_info: object = None,
         warm_start: bool = False,
-    ):
+    ) -> "SolverSession":
         """Open an incremental :class:`~repro.milp.session.SolverSession`.
 
         The standard form is exported once; the session then supports

@@ -10,6 +10,13 @@ import scipy.sparse as sparse
 
 from repro.milp.solution import SolveResult, SolveStatus, finalize_user_sense
 
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.milp.expr import LinExpr, Var
+    from repro.milp.model import Model
+    from repro.milp.session import SolverSession
+
 _MILP_STATUS = {
     0: SolveStatus.OPTIMAL,
     1: SolveStatus.ITERATION_LIMIT,
@@ -27,7 +34,7 @@ _LINPROG_STATUS = {
 }
 
 
-def _as_csr(a):
+def _as_csr(a: object) -> "sparse.csr_matrix":
     """Accept a dense array or any scipy sparse matrix; return CSR."""
     if sparse.issparse(a):
         return a.tocsr()
@@ -45,7 +52,12 @@ class ScipyBackend:
 
     name = "scipy"
 
-    def solve(self, model, time_limit=None, mip_gap=None) -> SolveResult:
+    def solve(
+        self,
+        model: "Model",
+        time_limit: float | None = None,
+        mip_gap: float | None = None,
+    ) -> SolveResult:
         """Solve ``model`` and return a harmonized :class:`SolveResult`."""
         c, a_ub, b_ub, a_eq, b_eq, bounds, integrality = model.to_standard_form(
             sparse=True
@@ -57,7 +69,12 @@ class ScipyBackend:
             result, model.objective_sense, model.objective.constant
         )
 
-    def solve_objectives(self, model, objectives, time_limit=None) -> list[SolveResult]:
+    def solve_objectives(
+        self,
+        model: "Model",
+        objectives: 'Sequence[tuple["LinExpr | Var", str]]',
+        time_limit: float | None = None,
+    ) -> list[SolveResult]:
         """Multi-objective fast path: export matrices once, swap ``c``.
 
         Args:
@@ -77,7 +94,12 @@ class ScipyBackend:
             results.append(finalize_user_sense(res, sense, expr.constant))
         return results
 
-    def open_session(self, model, relu_info=None, warm_start: bool = False):
+    def open_session(
+        self,
+        model: "Model",
+        relu_info: object = None,
+        warm_start: bool = False,
+    ) -> "SolverSession":
         """Open a cached-export :class:`~repro.milp.session.SolverSession`.
 
         The standard form is exported (sparse) exactly once; incremental
@@ -91,7 +113,16 @@ class ScipyBackend:
         return SolverSession(self, model, sparse=True, relu_info=relu_info)
 
     def _solve_std(
-        self, c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, time_limit, mip_gap
+        self,
+        c: np.ndarray,
+        a_ub: object,
+        b_ub: np.ndarray,
+        a_eq: object,
+        b_eq: np.ndarray,
+        bounds: list[tuple[float, float]],
+        integrality: np.ndarray,
+        time_limit: float | None,
+        mip_gap: float | None,
     ) -> SolveResult:
         """Dispatch a minimization-sense standard form to milp/linprog."""
         t0 = time.perf_counter()
@@ -107,7 +138,15 @@ class ScipyBackend:
 
     @staticmethod
     def _solve_milp(
-        c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, time_limit, mip_gap
+        c: np.ndarray,
+        a_ub: object,
+        b_ub: np.ndarray,
+        a_eq: object,
+        b_eq: np.ndarray,
+        bounds: list[tuple[float, float]],
+        integrality: np.ndarray,
+        time_limit: float | None,
+        mip_gap: float | None,
     ) -> SolveResult:
         constraints = []
         if a_ub.shape[0]:
@@ -152,7 +191,15 @@ class ScipyBackend:
         )
 
     @staticmethod
-    def _solve_lp(c, a_ub, b_ub, a_eq, b_eq, bounds, time_limit) -> SolveResult:
+    def _solve_lp(
+        c: np.ndarray,
+        a_ub: object,
+        b_ub: np.ndarray,
+        a_eq: object,
+        b_eq: np.ndarray,
+        bounds: list[tuple[float, float]],
+        time_limit: float | None,
+    ) -> SolveResult:
         options: dict = {"presolve": True}
         if time_limit is not None:
             options["time_limit"] = float(time_limit)

@@ -28,9 +28,11 @@ from __future__ import annotations
 
 import math
 import time
+from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro import _sanitize
 from repro.milp import simplex
 from repro.milp.expr import LinExpr, Var
 from repro.milp.model import _SENSE_EQ, _SENSE_GE, Model
@@ -39,7 +41,12 @@ from repro.milp.solution import SolveResult, SolveStatus, finalize_user_sense
 __all__ = ["SolverSession", "WarmStartSession", "open_session", "solve_objectives"]
 
 
-def _parse_le_rows(coeffs, senses, rhs, n: int):
+def _parse_le_rows(
+    coeffs: object,
+    senses: object,
+    rhs: object,
+    n: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Normalize appended rows to pure ``<=`` COO form.
 
     Accepts the same shapes as :meth:`Model.add_linear_rows` (dense
@@ -123,7 +130,13 @@ class SolverSession:
             :attr:`repro.encoding.single.SingleEncoding.relu_vars`).
     """
 
-    def __init__(self, backend, model: Model, sparse: bool = True, relu_info=None):
+    def __init__(
+        self,
+        backend: object,
+        model: Model,
+        sparse: bool = True,
+        relu_info: object = None,
+    ) -> None:
         (
             _c,
             self._a_ub,
@@ -162,7 +175,7 @@ class SolverSession:
 
     # -- incremental modification ---------------------------------------
 
-    def _indices(self, variables) -> np.ndarray:
+    def _indices(self, variables: "Iterable[Var | int]") -> np.ndarray:
         idx = np.asarray(
             [v.index if isinstance(v, Var) else int(v) for v in variables],
             dtype=int,
@@ -171,7 +184,12 @@ class SolverSession:
             raise ValueError("variable index out of range for this session")
         return idx
 
-    def set_var_bounds(self, variables, lb, ub) -> None:
+    def set_var_bounds(
+        self,
+        variables: "Iterable[Var | int]",
+        lb: "float | np.ndarray",
+        ub: "float | np.ndarray",
+    ) -> None:
         """Replace the bounds of ``variables`` (``Var`` handles or ints).
 
         ``lb``/``ub`` broadcast.  ``lb > ub`` is allowed and makes the
@@ -184,7 +202,7 @@ class SolverSession:
         self._lo[idx] = np.broadcast_to(np.asarray(lb, dtype=float), idx.shape)
         self._hi[idx] = np.broadcast_to(np.asarray(ub, dtype=float), idx.shape)
 
-    def append_rows(self, coeffs, senses, rhs) -> int:
+    def append_rows(self, coeffs: object, senses: object, rhs: object) -> int:
         """Append linear rows to the cached form (no re-export).
 
         Accepts :meth:`Model.add_linear_rows` shapes; ``==`` rows are
@@ -201,7 +219,13 @@ class SolverSession:
         self._on_rows_appended(data, row, col, rhs_arr)
         return int(rhs_arr.shape[0])
 
-    def _on_rows_appended(self, data, row, col, rhs) -> None:
+    def _on_rows_appended(
+        self,
+        data: np.ndarray,
+        row: np.ndarray,
+        col: np.ndarray,
+        rhs: np.ndarray,
+    ) -> None:
         """Hook for subclasses tracking extra per-row state."""
 
     def set_objective(self, expr: LinExpr | Var, sense: str = "min") -> None:
@@ -281,7 +305,7 @@ class SolverSession:
 
     # -- solving ---------------------------------------------------------
 
-    def _assembled(self):
+    def _assembled(self) -> tuple[object, np.ndarray]:
         """Base + appended ub rows as one matrix/vector pair (cached)."""
         if self._cache is not None:
             return self._cache
@@ -324,7 +348,9 @@ class SolverSession:
         )
         return finalize_user_sense(result, self._sense, self._constant)
 
-    def solve(self, time_limit=None, mip_gap=None) -> SolveResult:
+    def solve(
+        self, time_limit: float | None = None, mip_gap: float | None = None
+    ) -> SolveResult:
         """Solve the current state of the session.
 
         Equivalent (same statuses, same optima) to exporting a fresh
@@ -342,14 +368,26 @@ class SolverSession:
         return finalize_user_sense(result, self._sense, self._constant)
 
     def _solve_current(
-        self, c, a_ub, b_ub, a_eq, b_eq, bounds, time_limit, mip_gap
+        self,
+        c: np.ndarray,
+        a_ub: object,
+        b_ub: np.ndarray,
+        a_eq: object,
+        b_eq: np.ndarray,
+        bounds: list[tuple[float, float]],
+        time_limit: float | None,
+        mip_gap: float | None,
     ) -> SolveResult:
         return self._backend._solve_std(
             c, a_ub, b_ub, a_eq, b_eq, bounds, self._integrality,
             time_limit, mip_gap,
         )
 
-    def solve_objectives(self, objectives, time_limit=None) -> list[SolveResult]:
+    def solve_objectives(
+        self,
+        objectives: 'Sequence[tuple["LinExpr | Var", str]]',
+        time_limit: float | None = None,
+    ) -> list[SolveResult]:
         """Solve the current state under several objectives, in order."""
         results = []
         for expr, sense in objectives:
@@ -371,7 +409,9 @@ class WarmStartSession(SolverSession):
     per row, keeping the basis dual feasible) and the cached arrays.
     """
 
-    def __init__(self, backend, model: Model, relu_info=None):
+    def __init__(
+        self, backend: object, model: Model, relu_info: object = None
+    ) -> None:
         super().__init__(backend, model, sparse=False, relu_info=relu_info)
         self._prepared = simplex.PreparedLp(
             self._a_ub, self._b_ub, self._a_eq, self._b_eq,
@@ -379,7 +419,13 @@ class WarmStartSession(SolverSession):
         )
         self._basis: list[int] | None = None
 
-    def _on_rows_appended(self, data, row, col, rhs) -> None:
+    def _on_rows_appended(
+        self,
+        data: np.ndarray,
+        row: np.ndarray,
+        col: np.ndarray,
+        rhs: np.ndarray,
+    ) -> None:
         dense = np.zeros((rhs.shape[0], self._n))
         np.add.at(dense, (row, col), data)
         slack_cols = self._prepared.append_le_rows(dense, rhs)
@@ -387,8 +433,24 @@ class WarmStartSession(SolverSession):
             self._basis = self._basis + slack_cols
 
     def _solve_current(
-        self, c, a_ub, b_ub, a_eq, b_eq, bounds, time_limit, mip_gap
+        self,
+        c: np.ndarray,
+        a_ub: object,
+        b_ub: np.ndarray,
+        a_eq: object,
+        b_eq: np.ndarray,
+        bounds: list[tuple[float, float]],
+        time_limit: float | None,
+        mip_gap: float | None,
     ) -> SolveResult:
+        if _sanitize.ENABLED and self._basis is not None:
+            # Re-entry contract: a carried basis must still index one
+            # distinct column per prepared row, or phase-2 warm entry
+            # would pivot from garbage without failing loudly.
+            _sanitize.check_basis(
+                self._basis, self._prepared.m, self._prepared.total_cols,
+                "WarmStartSession re-entry",
+            )
         if self._integrality.any():
             sink: dict = {}
             result = self._backend._solve_std(
@@ -424,7 +486,7 @@ class WarmStartSession(SolverSession):
 def open_session(
     model: Model,
     backend: "str | object" = "scipy",
-    relu_info=None,
+    relu_info: object = None,
     warm_start: bool = False,
 ) -> SolverSession:
     """Open a :class:`SolverSession` on ``model`` with a named backend.
@@ -459,9 +521,9 @@ def open_session(
 
 def solve_objectives(
     model: Model,
-    objectives,
+    objectives: 'Sequence[tuple["LinExpr | Var", str]]',
     backend: "str | object" = "scipy",
-    time_limit=None,
+    time_limit: float | None = None,
 ) -> list[SolveResult]:
     """Solve ``model`` under several objectives through one session.
 

@@ -118,6 +118,7 @@ def solve_lp(
         out = np.zeros(num_cols)
         shift_const = 0.0
         for j, coef in enumerate(row):
+            # repro-lint: ignore[RPR001] — structural sparsity skip: exactly-zero entries have no column image; tolerating near-zeros would drop real (if tiny) coefficients
             if coef == 0.0:
                 continue
             kind, col, lb = colmap[j]
@@ -225,7 +226,9 @@ def solve_lp(
     return LpResult(SolveStatus.OPTIMAL, objective, x, iterations=iterations)
 
 
-def _phase1(a: np.ndarray, b: np.ndarray, max_iter: int, tol: float, pricing: str):
+def _phase1(
+    a: np.ndarray, b: np.ndarray, max_iter: int, tol: float, pricing: str
+) -> tuple[SolveStatus, list[int], np.ndarray, int]:
     """Find an initial basic feasible solution with artificial variables."""
     m, cols = a.shape
     tableau = np.hstack([a, np.eye(m), b.reshape(-1, 1)])
@@ -253,7 +256,15 @@ def _phase1(a: np.ndarray, b: np.ndarray, max_iter: int, tol: float, pricing: st
     return SolveStatus.OPTIMAL, basis, tableau, iters
 
 
-def _phase2(tableau, basis, c_full, cols, max_iter, tol, pricing):
+def _phase2(
+    tableau: np.ndarray,
+    basis: list[int],
+    c_full: np.ndarray,
+    cols: int,
+    max_iter: int,
+    tol: float,
+    pricing: str,
+) -> tuple[SolveStatus, list[int], np.ndarray, int]:
     """Optimize the true objective from the phase-1 basis."""
     m = tableau.shape[0]
     obj = np.zeros(cols + 1)
@@ -267,7 +278,13 @@ def _phase2(tableau, basis, c_full, cols, max_iter, tol, pricing):
 
 
 def _iterate(
-    tableau, basis, obj, cols, max_iter, tol, pricing: str = "dantzig"
+    tableau: np.ndarray,
+    basis: list[int],
+    obj: np.ndarray,
+    cols: int,
+    max_iter: int,
+    tol: float,
+    pricing: str = "dantzig",
 ) -> tuple[SolveStatus, int]:
     """Primal simplex iterations (shared by phases); returns pivot count.
 
@@ -306,7 +323,13 @@ def _iterate(
     return SolveStatus.ITERATION_LIMIT, max_iter
 
 
-def _pivot(tableau, obj, basis, row: int, col: int) -> None:
+def _pivot(
+    tableau: np.ndarray,
+    obj: np.ndarray,
+    basis: list[int],
+    row: int,
+    col: int,
+) -> None:
     """Pivot the tableau (and objective row) on (row, col)."""
     tableau[row] /= tableau[row, col]
     for i in range(tableau.shape[0]):
@@ -317,7 +340,14 @@ def _pivot(tableau, obj, basis, row: int, col: int) -> None:
     basis[row] = col
 
 
-def _dual_iterate(tableau, basis, obj, cols, max_iter, tol) -> tuple[SolveStatus, int]:
+def _dual_iterate(
+    tableau: np.ndarray,
+    basis: list[int],
+    obj: np.ndarray,
+    cols: int,
+    max_iter: int,
+    tol: float,
+) -> tuple[SolveStatus, int]:
     """Dual simplex: restore primal feasibility from a dual-feasible basis.
 
     Precondition: the reduced-cost row ``obj`` is non-negative (dual
@@ -363,7 +393,14 @@ class PreparedLp:
     ``None`` and the caller must fall back to a cold :func:`solve_lp`.
     """
 
-    def __init__(self, a_ub, b_ub, a_eq, b_eq, bounds) -> None:
+    def __init__(
+        self,
+        a_ub: object,
+        b_ub: np.ndarray,
+        a_eq: object,
+        b_eq: np.ndarray,
+        bounds: list[tuple[float, float]],
+    ) -> None:
         if hasattr(a_ub, "toarray"):
             a_ub = a_ub.toarray()
         if hasattr(a_eq, "toarray"):
@@ -432,7 +469,7 @@ class PreparedLp:
         )
         self.total_cols = self._a_full.shape[1]
 
-    def append_le_rows(self, rows, rhs) -> list[int]:
+    def append_le_rows(self, rows: np.ndarray, rhs: np.ndarray) -> list[int]:
         """Append ``rows @ x <= rhs`` (original variable space) in place.
 
         New rows get fresh slack columns *after* every existing column,
@@ -460,9 +497,9 @@ class PreparedLp:
 
     def solve(
         self,
-        c,
-        lo,
-        hi,
+        c: np.ndarray,
+        lo: np.ndarray,
+        hi: np.ndarray,
         basis: list[int] | None = None,
         max_iter: int = 20000,
         tol: float = 1e-9,
@@ -507,7 +544,17 @@ class PreparedLp:
                 return result
         return self._cold(c_exp, b, c, lo, max_iter, tol, pricing)
 
-    def _warm(self, c_exp, b, basis, c, lo, max_iter, tol, pricing):
+    def _warm(
+        self,
+        c_exp: np.ndarray,
+        b: np.ndarray,
+        basis: list[int],
+        c: np.ndarray,
+        lo: np.ndarray,
+        max_iter: int,
+        tol: float,
+        pricing: str,
+    ) -> "LpResult | None":
         """Re-enter from a previous basis; ``None`` -> fall back cold."""
         try:
             tableau = np.linalg.solve(
@@ -548,7 +595,16 @@ class PreparedLp:
             )
         return self._extract(tableau, basis, c, lo, iterations)
 
-    def _cold(self, c_exp, b, c, lo, max_iter, tol, pricing):
+    def _cold(
+        self,
+        c_exp: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray,
+        lo: np.ndarray,
+        max_iter: int,
+        tol: float,
+        pricing: str,
+    ) -> LpResult:
         """Two-phase solve on the cached structure (no basis hint)."""
         a = self._a_full.copy()
         b = b.copy()
@@ -573,7 +629,14 @@ class PreparedLp:
             )
         return self._extract(tableau, basis, c, lo, iterations)
 
-    def _extract(self, tableau, basis, c, lo, iterations) -> LpResult:
+    def _extract(
+        self,
+        tableau: np.ndarray,
+        basis: list[int],
+        c: np.ndarray,
+        lo: np.ndarray,
+        iterations: int,
+    ) -> LpResult:
         """Read the optimum out of a final tableau, in caller space."""
         z = np.zeros(self.total_cols)
         for row_idx, col in enumerate(basis):

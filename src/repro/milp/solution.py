@@ -57,7 +57,7 @@ class SolveResult:
         """True when the solver proved optimality."""
         return self.status is SolveStatus.OPTIMAL
 
-    def __getitem__(self, var) -> float:
+    def __getitem__(self, var: object) -> float:
         """Value of a :class:`~repro.milp.expr.Var` or expression."""
         from repro.milp.expr import LinExpr, Var
 

@@ -212,6 +212,10 @@ class BatchResult:
         tag: The query's caller label.
         certificate: The certificate object on success, else ``None``.
         error: Formatted traceback on failure, else ``None``.
+        detail: On failure, the structured record of what the worker's
+            broad exception handler swallowed: ``error_type`` (qualified
+            exception class), ``error_message`` (``str(exc)``) and
+            ``traceback`` (the formatted stack).  ``None`` on success.
         elapsed: Wall-clock seconds spent inside the worker.
     """
 
@@ -219,6 +223,7 @@ class BatchResult:
     tag: str = ""
     certificate: object | None = None
     error: str | None = None
+    detail: "dict[str, str] | None" = None
     elapsed: float = 0.0
 
     @property
@@ -339,9 +344,16 @@ def _run_one(payload: tuple[int, CertificationQuery]) -> BatchResult:
             index=index, tag=query.tag, certificate=cert,
             elapsed=time.perf_counter() - t0,
         )
-    except Exception:  # noqa: BLE001 — one bad query must not sink the batch
+    # repro-lint: ignore[RPR005] — swallows *any* per-query failure (bad dims, solver errors, encoding bugs) so one bad query cannot sink the batch; everything swallowed is surfaced verbatim in BatchResult.error/.detail
+    except Exception as exc:
+        cls = type(exc)
         return BatchResult(
             index=index, tag=query.tag, error=traceback.format_exc(),
+            detail={
+                "error_type": f"{cls.__module__}.{cls.__qualname__}",
+                "error_message": str(exc),
+                "traceback": traceback.format_exc(),
+            },
             elapsed=time.perf_counter() - t0,
         )
 

@@ -1,6 +1,8 @@
 """Shared utilities: timing, table formatting, RNG plumbing."""
 
-from repro.utils.tables import format_table
-from repro.utils.timing import Timer
+from __future__ import annotations
 
-__all__ = ["Timer", "format_table"]
+from repro.utils.tables import format_table
+from repro.utils.timing import Deadline, Timer
+
+__all__ = ["Deadline", "Timer", "format_table"]

@@ -23,6 +23,59 @@ class Timer:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         if self._start is not None:
             self.elapsed = time.perf_counter() - self._start
+
+
+class Deadline:
+    """Monotonic time budget — the shared deadline helper (lint RPR004).
+
+    Deadline arithmetic must never touch ``time.time``: the wall clock
+    jumps under NTP slew/DST, which can expire a 30-second solver budget
+    instantly or never.  This wraps ``time.perf_counter`` behind the
+    three operations deadline code actually needs.
+
+    ``seconds=None`` means "no deadline": :meth:`expired` is always
+    False and :meth:`remaining` is ``None``.
+
+    Example::
+
+        deadline = Deadline(30.0)
+        while not deadline.expired():
+            work(budget=deadline.remaining())
+    """
+
+    __slots__ = ("_expiry",)
+
+    def __init__(self, seconds: float | None) -> None:
+        self._expiry = (
+            None if seconds is None else time.perf_counter() + float(seconds)
+        )
+
+    @classmethod
+    def at(cls, expiry: float | None) -> "Deadline":
+        """Wrap an absolute ``time.perf_counter`` stamp (or None)."""
+        deadline = cls(None)
+        deadline._expiry = None if expiry is None else float(expiry)
+        return deadline
+
+    @property
+    def expiry(self) -> float | None:
+        """Absolute ``time.perf_counter`` expiry stamp (None = unbounded)."""
+        return self._expiry
+
+    def remaining(self) -> float | None:
+        """Seconds left (clamped at 0.0), or None when unbounded."""
+        if self._expiry is None:
+            return None
+        return max(0.0, self._expiry - time.perf_counter())
+
+    def expired(self) -> bool:
+        """Whether the budget is exhausted."""
+        return self._expiry is not None and time.perf_counter() > self._expiry
+
+    def __repr__(self) -> str:
+        if self._expiry is None:
+            return "Deadline(unbounded)"
+        return f"Deadline(remaining={self.remaining():.3f}s)"

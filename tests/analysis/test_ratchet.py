@@ -1,0 +1,73 @@
+"""Strict-typing ratchet: no-shrink gate + annotation completeness."""
+
+import subprocess
+import sys
+
+import pytest
+
+from tools.analysis import ratchet
+
+
+class TestNoShrink:
+    def test_committed_config_contains_the_baseline(self):
+        assert ratchet.check_no_shrink() == []
+
+    def test_baseline_entries_are_present_verbatim(self):
+        modules = set(ratchet.load_modules())
+        for entry in sorted(ratchet.BASELINE):
+            assert entry in modules
+
+    def test_shrunk_config_is_rejected(self, tmp_path):
+        kept = [m for m in ratchet.load_modules() if m != "repro/milp"]
+        cfg = tmp_path / "ratchet.cfg"
+        cfg.write_text("\n".join(kept) + "\n")
+        missing = ratchet.check_no_shrink(str(cfg))
+        assert missing == ["repro/milp"]
+        problems = ratchet.run(config_path=str(cfg))
+        assert any("shrank" in p.message for p in problems)
+
+    def test_config_parsing_skips_comments_and_blanks(self, tmp_path):
+        cfg = tmp_path / "ratchet.cfg"
+        cfg.write_text("# comment\n\nrepro/milp/   # trailing\nrepro/bounds\n")
+        assert ratchet.load_modules(str(cfg)) == ["repro/milp", "repro/bounds"]
+
+
+class TestAnnotations:
+    def test_ratcheted_tree_is_fully_annotated(self):
+        assert ratchet.check_annotations() == []
+
+    def test_unannotated_def_is_flagged(self, tmp_path):
+        pkg = tmp_path / "repro" / "milp"
+        pkg.mkdir(parents=True)
+        (pkg / "mod.py").write_text(
+            "from __future__ import annotations\n\ndef f(x):\n    return x\n"
+        )
+        cfg = tmp_path / "ratchet.cfg"
+        cfg.write_text("repro/milp\n")
+        problems = ratchet.check_annotations(str(tmp_path), str(cfg))
+        assert len(problems) == 1
+        assert "unannotated x, return" in problems[0].message
+
+    def test_missing_future_import_is_flagged(self, tmp_path):
+        pkg = tmp_path / "repro" / "milp"
+        pkg.mkdir(parents=True)
+        (pkg / "mod.py").write_text("def f(x: int) -> int:\n    return x\n")
+        cfg = tmp_path / "ratchet.cfg"
+        cfg.write_text("repro/milp\n")
+        problems = ratchet.check_annotations(str(tmp_path), str(cfg))
+        assert any("__future__" in p.message for p in problems)
+
+    def test_missing_entry_path_raises(self, tmp_path):
+        cfg = tmp_path / "ratchet.cfg"
+        cfg.write_text("repro/no_such_module\n")
+        with pytest.raises(FileNotFoundError):
+            ratchet.check_annotations("src", str(cfg))
+
+
+def test_cli_ratchet_mode_green():
+    result = subprocess.run(
+        [sys.executable, "-m", "tools.analysis", "--ratchet"],
+        capture_output=True, text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "ratchet: ok" in result.stdout

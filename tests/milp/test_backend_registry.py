@@ -12,7 +12,10 @@ from repro.milp.backend import (
     get_backend,
 )
 from repro.milp.branch_bound import BranchBoundBackend
-from repro.milp.scipy_backend import ScipyBackend
+
+# Registry-mediated class access (RPR003): the registry is the single
+# source of truth for which concrete class serves "scipy".
+ScipyBackend = type(get_backend("scipy"))
 
 
 class TestNames:

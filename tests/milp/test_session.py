@@ -17,7 +17,7 @@ from hypothesis import strategies as st
 
 from repro.bounds import Box
 from repro.encoding import encode_single_network
-from repro.milp import Model, SolveStatus, as_expr, open_session
+from repro.milp import Model, SolveStatus, as_expr, get_backend, open_session
 from repro.milp.session import solve_objectives as session_solve_objectives
 from repro.nn.affine import AffineLayer
 
@@ -240,13 +240,13 @@ def test_conflicting_bounds_report_infeasible(backend, warm):
 
 def test_session_solve_objectives_falls_back_without_sessions():
     """Sessionless third-party backends keep working via solve_many."""
-    from repro.milp.scipy_backend import ScipyBackend
+    scipy_solver = get_backend("scipy")
 
     class PlainBackend:
         name = "plain"
 
         def solve(self, model, time_limit=None, mip_gap=None):
-            return ScipyBackend().solve(
+            return scipy_solver.solve(
                 model, time_limit=time_limit, mip_gap=mip_gap
             )
 

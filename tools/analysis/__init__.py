@@ -1,0 +1,166 @@
+"""Project lint pack: the ``python -m tools.analysis`` engine.
+
+Runs the :mod:`tools.analysis.rules` over a set of files/directories,
+applies inline waivers (:mod:`tools.analysis.waivers`), and reports
+``path:line: CODE message`` diagnostics.  Exit status 0 means clean.
+
+Engine-level diagnostics use the reserved code ``RPR000``:
+
+* a waiver without a written reason,
+* a waiver that suppressed nothing (stale waivers must be deleted, so
+  every committed waiver is load-bearing by construction),
+* a waiver naming a malformed/unknown code,
+* a file that fails to parse.
+
+The engine is import-friendly for tests: :func:`lint_source` lints one
+source string, :func:`lint_paths` walks real trees.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+
+from tools.analysis.rules import ALL_RULES, FileContext
+from tools.analysis.waivers import Waiver, malformed_codes, parse_waivers
+
+ENGINE_CODE = "RPR000"
+
+#: Every valid error code (rules plus the engine's own).
+KNOWN_CODES = frozenset({rule.CODE for rule in ALL_RULES} | {ENGINE_CODE})
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One reported problem."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical ``path:line: CODE message`` form."""
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+def _waiver_diagnostics(path: str, waivers: list[Waiver]) -> list[Diagnostic]:
+    """Engine checks on the waivers themselves (reason present, codes valid)."""
+    out: list[Diagnostic] = []
+    for waiver in waivers:
+        bad = malformed_codes(waiver)
+        if bad or not waiver.codes:
+            out.append(
+                Diagnostic(
+                    path,
+                    waiver.line,
+                    ENGINE_CODE,
+                    f"waiver names no valid error code ({', '.join(bad) or 'empty'})",
+                )
+            )
+            continue
+        unknown = sorted(set(waiver.codes) - KNOWN_CODES)
+        if unknown:
+            out.append(
+                Diagnostic(
+                    path,
+                    waiver.line,
+                    ENGINE_CODE,
+                    f"waiver names unknown code(s): {', '.join(unknown)}",
+                )
+            )
+        if not waiver.has_reason:
+            out.append(
+                Diagnostic(
+                    path,
+                    waiver.line,
+                    ENGINE_CODE,
+                    "waiver carries no written reason "
+                    "(every waiver must say why it is sound)",
+                )
+            )
+    return out
+
+
+def lint_source(source: str, path: str, relpath: str | None = None) -> list[Diagnostic]:
+    """Lint one in-memory source string.
+
+    Args:
+        source: File text.
+        path: Display path for diagnostics.
+        relpath: Forward-slash repo-relative path used by rule scope
+            predicates; defaults to ``path`` normalized.
+
+    Returns:
+        Diagnostics after waiver suppression, sorted by line.
+    """
+    if relpath is None:
+        relpath = path.replace(os.sep, "/")
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path, exc.lineno or 1, ENGINE_CODE, f"file does not parse: {exc.msg}"
+            )
+        ]
+
+    waivers = parse_waivers(source)
+    diagnostics = _waiver_diagnostics(path, waivers)
+    ctx = FileContext(relpath=relpath, source=source, tree=tree)
+    for rule in ALL_RULES:
+        for line, message in rule.check(ctx):
+            suppressor = next(
+                (w for w in waivers if w.matches(rule.CODE, line) and w.has_reason),
+                None,
+            )
+            if suppressor is not None:
+                suppressor.used = True
+                continue
+            diagnostics.append(Diagnostic(path, line, rule.CODE, message))
+
+    for waiver in waivers:
+        if waiver.used or not waiver.codes or malformed_codes(waiver):
+            continue
+        diagnostics.append(
+            Diagnostic(
+                path,
+                waiver.line,
+                ENGINE_CODE,
+                f"stale waiver: ignore[{', '.join(waiver.codes)}] suppressed "
+                "nothing — delete it",
+            )
+        )
+    return sorted(diagnostics, key=lambda d: (d.line, d.code))
+
+
+def iter_python_files(paths: list[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs if d not in {"__pycache__", ".git", ".hypothesis"}
+                )
+                files.extend(
+                    os.path.join(root, n) for n in sorted(names) if n.endswith(".py")
+                )
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return files
+
+
+def lint_paths(paths: list[str]) -> list[Diagnostic]:
+    """Lint every ``.py`` file under ``paths``; diagnostics in path order."""
+    diagnostics: list[Diagnostic] = []
+    for filename in iter_python_files(paths):
+        with open(filename, encoding="utf-8") as handle:
+            source = handle.read()
+        diagnostics.extend(
+            lint_source(source, filename, filename.replace(os.sep, "/"))
+        )
+    return diagnostics

@@ -1,0 +1,84 @@
+"""CLI entry point: ``python -m tools.analysis [paths...]``.
+
+Modes:
+
+* ``python -m tools.analysis src benchmarks`` — run the RPR lint pack
+  over the given files/directories; exit 1 on any diagnostic.
+* ``python -m tools.analysis --ratchet`` — run the strict-typing
+  ratchet (module-list no-shrink + full-annotation check); exit 1 on
+  any problem.
+* ``python -m tools.analysis --list-rules`` — print the error-code
+  table and exit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from tools.analysis import ENGINE_CODE, lint_paths
+from tools.analysis.rules import ALL_RULES
+from tools.analysis import ratchet
+
+
+def _list_rules() -> None:
+    print(f"{ENGINE_CODE}  engine: waiver hygiene (reason required, no stale waivers)")
+    for rule in ALL_RULES:
+        print(f"{rule.CODE}  {rule.SUMMARY}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the requested analysis; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.analysis",
+        description="Project-specific soundness lint pack + typing ratchet.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files/directories to lint (e.g. src benchmarks)"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the error-code table"
+    )
+    parser.add_argument(
+        "--ratchet",
+        action="store_true",
+        help="check the strict-typing ratchet instead of linting",
+    )
+    parser.add_argument(
+        "--src-root",
+        default="src",
+        help="package root the ratchet module list is relative to (default: src)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _list_rules()
+        return 0
+
+    if args.ratchet:
+        problems = ratchet.run(src_root=args.src_root)
+        for problem in problems:
+            print(problem.render())
+        if problems:
+            print(f"ratchet: {len(problems)} problem(s)", file=sys.stderr)
+            return 1
+        print(
+            f"ratchet: ok ({len(ratchet.load_modules())} module entries, "
+            "fully annotated)"
+        )
+        return 0
+
+    if not args.paths:
+        parser.error("nothing to do: pass paths to lint, --ratchet, or --list-rules")
+    diagnostics = lint_paths(args.paths)
+    for diag in diagnostics:
+        print(diag.render())
+    if diagnostics:
+        print(f"lint: {len(diagnostics)} diagnostic(s)", file=sys.stderr)
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

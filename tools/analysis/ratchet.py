@@ -1,0 +1,166 @@
+"""The strict-typing ratchet.
+
+``ratchet.cfg`` (next to this module) lists the modules that must stay
+``mypy --strict``-clean (see ``mypy.ini``).  The list may only *grow*:
+
+* :func:`check_no_shrink` fails when any :data:`BASELINE` entry is
+  missing from the config — CI runs it on every PR, so deleting a line
+  from the config can never land silently.
+* :func:`check_annotations` is the locally-runnable half of strictness:
+  a stdlib-``ast`` pass proving every function in every ratcheted module
+  is *fully annotated* (all parameters + return) and that every
+  ratcheted file opts into ``from __future__ import annotations``.  It
+  needs no third-party tooling, so the same gate mypy enforces in CI is
+  checkable offline.
+
+Growing the ratchet = appending a path to ``ratchet.cfg`` (and making it
+pass).  Shrinking it = a failing CI job.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+
+#: Committed module list (paths relative to ``src/``).
+CONFIG_PATH = os.path.join(_HERE, "ratchet.cfg")
+
+#: The floor the config may never drop below.  Entries are only ever
+#: *added* here (when a new subsystem is ratcheted in and the team wants
+#: it floor-protected too); removing one is a reviewed API decision.
+BASELINE: frozenset[str] = frozenset(
+    {
+        "repro/milp",
+        "repro/bounds",
+        "repro/encoding",
+        "repro/certify/results.py",
+    }
+)
+
+
+@dataclass(frozen=True)
+class RatchetProblem:
+    """One ratchet violation."""
+
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        """``path:line: message`` (line 0 = whole-file problem)."""
+        return f"{self.path}:{self.line}: {self.message}"
+
+
+def load_modules(config_path: str = CONFIG_PATH) -> list[str]:
+    """Read the ratchet module list (``#`` comments and blanks skipped)."""
+    modules: list[str] = []
+    with open(config_path, encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.split("#", 1)[0].strip()
+            if line:
+                modules.append(line.rstrip("/"))
+    return modules
+
+
+def check_no_shrink(config_path: str = CONFIG_PATH) -> list[str]:
+    """Baseline entries missing from the config (empty = OK)."""
+    present = set(load_modules(config_path))
+    return sorted(BASELINE - present)
+
+
+def module_files(src_root: str, modules: list[str]) -> list[str]:
+    """Expand ratchet entries into the ``.py`` files they cover."""
+    files: list[str] = []
+    for module in modules:
+        target = os.path.join(src_root, module)
+        if os.path.isfile(target):
+            files.append(target)
+        elif os.path.isdir(target):
+            for root, dirs, names in os.walk(target):
+                dirs[:] = sorted(d for d in dirs if d != "__pycache__")
+                files.extend(
+                    os.path.join(root, n) for n in sorted(names) if n.endswith(".py")
+                )
+        else:
+            raise FileNotFoundError(f"ratchet entry does not exist: {target}")
+    return files
+
+
+def _has_future_annotations(tree: ast.Module) -> bool:
+    return any(
+        isinstance(node, ast.ImportFrom)
+        and node.module == "__future__"
+        and any(alias.name == "annotations" for alias in node.names)
+        for node in tree.body
+    )
+
+
+def _unannotated(fn: "ast.FunctionDef | ast.AsyncFunctionDef") -> list[str]:
+    """Parameter names missing annotations (plus ``return`` if absent)."""
+    args = [*fn.args.posonlyargs, *fn.args.args, *fn.args.kwonlyargs]
+    missing = [
+        a.arg
+        for i, a in enumerate(args)
+        if a.annotation is None and not (i == 0 and a.arg in {"self", "cls"})
+    ]
+    if fn.args.vararg is not None and fn.args.vararg.annotation is None:
+        missing.append("*" + fn.args.vararg.arg)
+    if fn.args.kwarg is not None and fn.args.kwarg.annotation is None:
+        missing.append("**" + fn.args.kwarg.arg)
+    if fn.returns is None:
+        missing.append("return")
+    return missing
+
+
+def check_annotations(
+    src_root: str = "src", config_path: str = CONFIG_PATH
+) -> list[RatchetProblem]:
+    """Every def in every ratcheted module must be fully annotated."""
+    problems: list[RatchetProblem] = []
+    for filename in module_files(src_root, load_modules(config_path)):
+        with open(filename, encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            problems.append(
+                RatchetProblem(filename, exc.lineno or 1, f"does not parse: {exc.msg}")
+            )
+            continue
+        if not _has_future_annotations(tree):
+            problems.append(
+                RatchetProblem(
+                    filename, 1, "missing `from __future__ import annotations`"
+                )
+            )
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if any(
+                isinstance(d, ast.Name) and d.id == "overload"
+                for d in node.decorator_list
+            ):
+                continue
+            missing = _unannotated(node)
+            if missing:
+                problems.append(
+                    RatchetProblem(
+                        filename,
+                        node.lineno,
+                        f"def {node.name}: unannotated {', '.join(missing)}",
+                    )
+                )
+    return problems
+
+
+def run(src_root: str = "src", config_path: str = CONFIG_PATH) -> list[RatchetProblem]:
+    """Full ratchet check: list integrity + annotation completeness."""
+    problems = [
+        RatchetProblem(config_path, 0, f"ratchet list shrank: {entry} removed")
+        for entry in check_no_shrink(config_path)
+    ]
+    problems.extend(check_annotations(src_root, config_path))
+    return problems

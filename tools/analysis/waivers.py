@@ -1,0 +1,108 @@
+"""Inline lint-waiver parsing.
+
+A waiver is an inline comment of the form::
+
+    some_code()  # repro-lint: ignore[RPR001] — structural exact-zero sparsity skip
+
+or, for lines too long to carry a trailing comment, a standalone comment
+line immediately above the offending line::
+
+    # repro-lint: ignore[RPR002] — documented read-only; never mutated
+    self.rows = rows
+
+Rules:
+
+* The bracket list may name several codes: ``ignore[RPR001, RPR005]``.
+* A waiver **must** carry a written reason after the code list (separated
+  by an em-dash/hyphen or a colon).  A reason-less waiver is itself a
+  diagnostic (``RPR000``).
+* A waiver that suppresses nothing is also a diagnostic (``RPR000``):
+  stale waivers must be deleted, so every waiver in the tree is load-
+  bearing by construction.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+#: Matches the waiver comment anywhere in a line's comment trailer.
+WAIVER_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore\[(?P<codes>[^\]]*)\]"
+    r"(?:\s*(?:[—–:-]|--)\s*(?P<reason>.*))?"
+)
+
+_CODE_RE = re.compile(r"^[A-Z]{3}\d{3}$")
+
+
+@dataclass
+class Waiver:
+    """One parsed waiver comment.
+
+    Attributes:
+        line: Line the waiver comment sits on (1-based).
+        target_line: Line whose diagnostics it suppresses (the same line
+            for trailing comments, the next line for standalone ones).
+        codes: Error codes named in the bracket list.
+        reason: Free-text justification (may be empty — flagged later).
+        used: Set by the engine when the waiver suppressed a diagnostic.
+    """
+
+    line: int
+    target_line: int
+    codes: tuple[str, ...]
+    reason: str
+    used: bool = field(default=False, compare=False)
+
+    @property
+    def has_reason(self) -> bool:
+        """Whether a non-trivial written reason is present."""
+        return len(self.reason.strip()) >= 3
+
+    def matches(self, code: str, line: int) -> bool:
+        """Whether this waiver suppresses ``code`` reported at ``line``."""
+        return line == self.target_line and code in self.codes
+
+
+def parse_waivers(source: str) -> list[Waiver]:
+    """Extract every waiver comment from ``source``.
+
+    Parsing is token-based (``tokenize``), so waiver syntax quoted in a
+    docstring or string literal is *not* a waiver.  Standalone
+    comment-line waivers target the next line; trailing waivers target
+    their own line.  Malformed code lists (anything not shaped like
+    ``ABC123``) are kept verbatim so the engine can report them instead
+    of silently ignoring the waiver.
+    """
+    import io
+    import tokenize
+
+    waivers: list[Waiver] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError):
+        return []
+    lines = source.splitlines()
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = WAIVER_RE.search(tok.string)
+        if match is None:
+            continue
+        lineno = tok.start[0]
+        codes = tuple(
+            code.strip() for code in match.group("codes").split(",") if code.strip()
+        )
+        reason = (match.group("reason") or "").strip()
+        line_text = lines[lineno - 1] if lineno <= len(lines) else ""
+        standalone = line_text.strip().startswith("#")
+        target = lineno + 1 if standalone else lineno
+        waivers.append(
+            Waiver(line=lineno, target_line=target, codes=codes, reason=reason)
+        )
+    return waivers
+
+
+def malformed_codes(waiver: Waiver) -> list[str]:
+    """Codes in the waiver that do not look like error codes at all."""
+    return [code for code in waiver.codes if not _CODE_RE.match(code)]
