@@ -208,7 +208,7 @@ def local_speedup(layers, domain, delta, n_samples, seed=0) -> dict:
     }
 
 
-def splitting_provable_target(layers, domain, delta, partitions=24) -> float:
+def splitting_provable_target(layers, domain, delta, partitions=24) -> dict:
     """An ε the split tier can prove from bounds over a small partition.
 
     Greedy probe mirroring the tier's own priority rule: repeatedly
@@ -218,6 +218,11 @@ def splitting_provable_target(layers, domain, delta, partitions=24) -> float:
     bound up to the root bound is provable by pure splitting in about
     that many subdomains, while staying strictly below the root bound —
     i.e. presolve-undecided.
+
+    Returns the target plus the bound-tightness ratio (root bound over
+    partition bound, >1 — how much the partition tightened the symbolic
+    bound), the splitting tier's quality claim that the benchmark gate
+    tracks alongside the speedup.
     """
     from repro.certify.splitting import _bisect, _split_dimension
 
@@ -236,7 +241,13 @@ def splitting_provable_target(layers, domain, delta, partitions=24) -> float:
             boxes.append((child, bound(child)))
     partition_max = max(float(eps.max()) for _, eps in boxes)
     root_max = float(root_eps.max())
-    return partition_max + 0.25 * (root_max - partition_max)
+    return {
+        "epsilon": partition_max + 0.25 * (root_max - partition_max),
+        "root_bound": root_max,
+        "partition_bound": partition_max,
+        "partitions": partitions,
+        "bound_tightness": root_max / max(partition_max, 1e-9),
+    }
 
 
 def timeout_scenario(layers, domain, delta, time_limit, max_domains=512) -> dict:
@@ -247,7 +258,8 @@ def timeout_scenario(layers, domain, delta, time_limit, max_domains=512) -> dict
     ``time_limit`` per solve and the split tier gets the same number as
     its *whole-run* deadline (a stricter budget).
     """
-    epsilon = splitting_provable_target(layers, domain, delta)
+    target = splitting_provable_target(layers, domain, delta)
+    epsilon = target["epsilon"]
     presolve_undecided = (
         presolve_global(layers, domain, delta, epsilon) is None
     )
@@ -263,6 +275,9 @@ def timeout_scenario(layers, domain, delta, time_limit, max_domains=512) -> dict
     t_split = time.perf_counter() - t0
     return {
         "epsilon_target": epsilon,
+        "root_bound": target["root_bound"],
+        "partition_bound": target["partition_bound"],
+        "bound_tightness": target["bound_tightness"],
         "presolve_undecided": presolve_undecided,
         "time_limit": time_limit,
         "monolithic_verdict": monolithic_verdict(mono, epsilon),
@@ -364,7 +379,10 @@ def run(smoke: bool, emit=print, write_json=write_bench_json) -> dict:
         f"{timeout['time_monolithic']:.2f}s) | "
         f"split -> {timeout['split_verdict']} "
         f"({timeout['split_domains']} subdomains, "
-        f"{timeout['time_split']:.2f}s)"
+        f"{timeout['time_split']:.2f}s) | "
+        f"bound tightness {timeout['bound_tightness']:.2f}x "
+        f"(root {timeout['root_bound']:.3f} -> partition "
+        f"{timeout['partition_bound']:.3f})"
     )
 
     results = {"cases": case_results, "timeout_scenario": timeout}
@@ -373,12 +391,14 @@ def run(smoke: bool, emit=print, write_json=write_bench_json) -> dict:
             "smoke_cases": case_results,
             "smoke_timeout_scenario": timeout,
             "smoke_speedup": max(c["speedup"] for c in case_results),
+            "smoke_bound_tightness": timeout["bound_tightness"],
         }
     else:
         payload = {
             "cases": case_results,
             "timeout_scenario": timeout,
             "speedup": max(c["speedup"] for c in case_results),
+            "bound_tightness": timeout["bound_tightness"],
         }
     if write_json is not None:
         write_json("splitting", payload)
@@ -406,6 +426,11 @@ def _check(results: dict, smoke: bool) -> list[str]:
     timeout = results["timeout_scenario"]
     if timeout["split_verdict"] == "undecided":
         failures.append("deadline scenario: split tier failed to decide")
+    if timeout["bound_tightness"] <= 1.0:
+        failures.append(
+            "deadline scenario: partitioning did not tighten the root "
+            f"symbolic bound (tightness {timeout['bound_tightness']:.2f}x)"
+        )
     if timeout["monolithic_verdict"] != "undecided":
         failures.append(
             "deadline scenario: monolithic tier did not time out "

@@ -89,11 +89,14 @@ def session_leaf_resolves(layers, root: Box, tiles: int) -> dict:
         optima = []
         pivots = 0
         t0 = time.perf_counter()
-        for box in boxes:
-            session.set_var_bounds(enc.input_vars, box.lo, box.hi)
-            for result in session.solve_objectives(objectives):
-                optima.append(result.objective)
-                pivots += result.iterations
+        try:
+            for box in boxes:
+                session.set_var_bounds(enc.input_vars, box.lo, box.hi)
+                for result in session.solve_objectives(objectives):
+                    optima.append(result.objective)
+                    pivots += result.iterations
+        finally:
+            session.close()
         return time.perf_counter() - t0, pivots, np.asarray(optima)
 
     t_cold, cold_pivots, cold_opt = run(COLD_BACKEND, warm=False)

@@ -65,8 +65,14 @@ def certify_local_exact(
     domain: Box | None = None,
     backend: str = "scipy",
     bounds: str = "ibp",
+    time_limit: float | None = None,
 ) -> LocalCertificate:
-    """Exact local robustness: full big-M MILP over the δ-ball."""
+    """Exact local robustness: full big-M MILP over the δ-ball.
+
+    ``time_limit`` caps each objective solve (``None`` = unbounded);
+    on timeout the underlying solver raises through
+    :meth:`~repro.milp.solution.SolveResult.require_optimal`.
+    """
     t0 = time.perf_counter()
     layers = as_affine_chain(network)
     ball = perturbation_ball(center, delta, domain)
@@ -75,7 +81,9 @@ def certify_local_exact(
     for handle in enc.output:
         expr = as_expr(handle)
         objectives.extend([(expr, "min"), (expr, "max")])
-    results = enc.model.solve_many(objectives, backend=backend)
+    results = enc.model.solve_many(
+        objectives, backend=backend, time_limit=time_limit
+    )
     out_dim = layers[-1].out_dim
     lo = np.array([results[2 * j].require_optimal().objective for j in range(out_dim)])
     hi = np.array(
@@ -92,6 +100,7 @@ def certify_local_nd(
     domain: Box | None = None,
     backend: str = "scipy",
     bounds: str = "ibp",
+    time_limit: float | None = None,
 ) -> LocalCertificate:
     """Local robustness via network decomposition (exact sub-MILPs).
 
@@ -121,7 +130,9 @@ def certify_local_nd(
         for handle in enc.y[-1]:
             expr = as_expr(handle)
             objectives.extend([(expr, "min"), (expr, "max")])
-        results = enc.model.solve_many(objectives, backend=backend)
+        results = enc.model.solve_many(
+            objectives, backend=backend, time_limit=time_limit
+        )
         m_i = layers[i - 1].out_dim
         lo = np.empty(m_i)
         hi = np.empty(m_i)
@@ -149,6 +160,7 @@ def certify_local_lpr(
     domain: Box | None = None,
     backend: str = "scipy",
     bounds: str = "ibp",
+    time_limit: float | None = None,
 ) -> LocalCertificate:
     """Local robustness via the triangle LP relaxation of every ReLU."""
     t0 = time.perf_counter()
@@ -160,7 +172,9 @@ def certify_local_lpr(
     for handle in enc.output:
         expr = as_expr(handle)
         objectives.extend([(expr, "min"), (expr, "max")])
-    results = enc.model.solve_many(objectives, backend=backend)
+    results = enc.model.solve_many(
+        objectives, backend=backend, time_limit=time_limit
+    )
     out_dim = layers[-1].out_dim
     lo = np.array([results[2 * j].require_optimal().objective for j in range(out_dim)])
     hi = np.array(

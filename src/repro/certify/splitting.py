@@ -476,6 +476,10 @@ class _SessionLeafSolver:
         self.pivots += outcome.pivots
         return outcome
 
+    def close(self) -> None:
+        """Release the shared root session (idempotent)."""
+        self.session.close()
+
 
 def _leaf_worker(payload) -> _LeafOutcome:
     """Picklable entry point for parallel leaf solving."""
@@ -517,14 +521,19 @@ def _solve_leaves(
         solver = _SessionLeafSolver(
             kind, layers, root, root_bounds, extra, config
         )
-        for i in order:
-            remaining = None if deadline is None else deadline - time.perf_counter()
-            if remaining is not None and remaining <= 0:
-                break  # deadline: remaining leaves stay undecided (sound)
-            outcomes[i] = solver.solve(leaves[i], remaining)
-        if pivot_sink is not None:
-            pivot_sink["pivots"] = solver.pivots
-        return outcomes
+        try:
+            for i in order:
+                remaining = (
+                    None if deadline is None else deadline - time.perf_counter()
+                )
+                if remaining is not None and remaining <= 0:
+                    break  # deadline: remaining leaves stay undecided (sound)
+                outcomes[i] = solver.solve(leaves[i], remaining)
+            if pivot_sink is not None:
+                pivot_sink["pivots"] = solver.pivots
+            return outcomes
+        finally:
+            solver.close()
     workers = 1 if config.leaf_workers is None else config.leaf_workers
     workers = min(workers, len(leaves))
     if workers > 1:

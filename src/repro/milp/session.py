@@ -160,6 +160,37 @@ class SolverSession:
         self._extra: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
         self._num_extra = 0
         self._cache = None  # assembled (a_ub_all, b_ub_all)
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def close(self) -> None:
+        """Release the session's cached matrices; idempotent.
+
+        A closed session refuses further modification and solving —
+        reuse after close is a bug that must fail loudly, not solve a
+        stale snapshot.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._cache = None
+        self._extra.clear()
+
+    def __enter__(self) -> "SolverSession":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("solver session is closed")
 
     # -- inspection ------------------------------------------------------
 
@@ -198,6 +229,7 @@ class SolverSession:
         structure must be preserved: bounds must keep their finiteness
         pattern there (tightening always does).
         """
+        self._require_open()
         idx = self._indices(variables)
         self._lo[idx] = np.broadcast_to(np.asarray(lb, dtype=float), idx.shape)
         self._hi[idx] = np.broadcast_to(np.asarray(ub, dtype=float), idx.shape)
@@ -212,6 +244,7 @@ class SolverSession:
         Returns:
             The number of (normalized, ``<=``) rows actually appended.
         """
+        self._require_open()
         data, row, col, rhs_arr = _parse_le_rows(coeffs, senses, rhs, self._n)
         self._extra.append((data, row, col, rhs_arr))
         self._num_extra += rhs_arr.shape[0]
@@ -230,6 +263,7 @@ class SolverSession:
 
     def set_objective(self, expr: LinExpr | Var, sense: str = "min") -> None:
         """Swap the objective (same semantics as :meth:`Model.solve_many`)."""
+        self._require_open()
         c, expr = self._model.objective_vector(expr, sense)
         self._c = c
         self._sense = sense
@@ -357,6 +391,7 @@ class SolverSession:
         model carrying all accumulated modifications — the property the
         session test-suite asserts.
         """
+        self._require_open()
         if (self._lo > self._hi).any():
             return self._infeasible()
         a_ub, b_ub = self._assembled()
@@ -418,6 +453,11 @@ class WarmStartSession(SolverSession):
             list(zip(self._lo, self._hi)),
         )
         self._basis: list[int] | None = None
+
+    def close(self) -> None:
+        """Release cached matrices and the carried simplex basis."""
+        super().close()
+        self._basis = None
 
     def _on_rows_appended(
         self,
@@ -537,4 +577,7 @@ def solve_objectives(
         session = open_session(model, backend=backend)
     except TypeError:
         return model.solve_many(objectives, backend=backend, time_limit=time_limit)
-    return session.solve_objectives(objectives, time_limit=time_limit)
+    try:
+        return session.solve_objectives(objectives, time_limit=time_limit)
+    finally:
+        session.close()

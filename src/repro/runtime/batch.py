@@ -60,7 +60,7 @@ class CertificationQuery:
         window: ND window ``W`` (``local-nd`` / ``global``).
         refine_count: Neurons refined per sub-network (``global`` only).
         backend: MILP/LP backend name.
-        time_limit: Per-MILP time limit in seconds (global kinds).
+        time_limit: Per-MILP time limit in seconds.  For global kinds
             ``None`` means "use the engine default"
             (:data:`DEFAULT_GLOBAL_TIME_LIMIT`, 30 s) — it does NOT
             disable the safeguard.  Pass ``math.inf`` for an explicitly
@@ -68,6 +68,9 @@ class CertificationQuery:
             queries differ: there it is the *shared whole-run* deadline
             and ``None`` stays unlimited, matching the monolithic exact
             certifiers whose verdicts the split tier must reproduce.
+            Local kinds follow the split convention too: ``None`` stays
+            unlimited (exact-verdict parity), a set limit caps each
+            objective solve.
         epsilon: Optional target variation bound.  When set, the
             presolve tier runs first: if symbolic bounds prove (or the
             attack gap refutes) ``ε ≤ epsilon``, the query is answered
@@ -297,21 +300,29 @@ def _execute_query(query: CertificationQuery):
     if query.split:
         return _run_split(query)
 
+    # Local kinds share the split tier's convention: `time_limit=None`
+    # stays genuinely unlimited (exact-verdict parity), a set limit caps
+    # each objective solve, `inf` is spelled-out unlimited.
+    local_limit = query.time_limit
+    if local_limit is not None and math.isinf(local_limit):
+        local_limit = None
     if query.kind == "local-exact":
         return certify_local_exact(
             query.layers, query.center, query.delta,
             domain=query.domain, backend=query.backend, bounds=query.effective_bounds(),
+            time_limit=local_limit,
         )
     if query.kind == "local-nd":
         return certify_local_nd(
             query.layers, query.center, query.delta,
             window=query.window, domain=query.domain, backend=query.backend,
-            bounds=query.effective_bounds(),
+            bounds=query.effective_bounds(), time_limit=local_limit,
         )
     if query.kind == "local-lpr":
         return certify_local_lpr(
             query.layers, query.center, query.delta,
             domain=query.domain, backend=query.backend, bounds=query.effective_bounds(),
+            time_limit=local_limit,
         )
     if query.kind == "global":
         # The CLI's algorithm-1 knobs (window, refine, backend, limit)

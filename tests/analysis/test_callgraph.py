@@ -1,0 +1,169 @@
+"""Call graph: import resolution, ctor params, candidate sets, edges."""
+
+import ast
+import textwrap
+
+from tools.analysis.callgraph import build_call_graph, module_name_of
+
+
+def graph_of(*files):
+    return build_call_graph(
+        [(relpath, ast.parse(textwrap.dedent(src))) for relpath, src in files]
+    )
+
+
+def first_call(src, name=None):
+    tree = ast.parse(textwrap.dedent(src))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            label = func.attr if isinstance(func, ast.Attribute) else getattr(
+                func, "id", None
+            )
+            if name is None or label == name:
+                return node
+    raise AssertionError("no matching call")
+
+
+class TestModuleNames:
+    def test_src_prefix_stripped(self):
+        assert module_name_of("src/repro/milp/session.py") == "repro.milp.session"
+
+    def test_tests_keep_prefix(self):
+        assert (
+            module_name_of("tests/milp/test_session.py")
+            == "tests.milp.test_session"
+        )
+
+    def test_init_names_package(self):
+        assert module_name_of("src/repro/milp/__init__.py") == "repro.milp"
+
+
+class TestResolution:
+    def test_local_function(self):
+        graph = graph_of(
+            ("src/pkg/a.py", "def helper(lo, hi):\n    pass\n")
+        )
+        info = graph.resolve_name("pkg.a", "helper")
+        assert info is not None
+        assert info.params == ["lo", "hi"]
+        assert info.qualname == "pkg.a:helper"
+
+    def test_from_import(self):
+        graph = graph_of(
+            ("src/pkg/a.py", "def helper(lo, hi):\n    pass\n"),
+            ("src/pkg/b.py", "from pkg.a import helper\n"),
+        )
+        info = graph.resolve_name("pkg.b", "helper")
+        assert info is not None and info.module == "pkg.a"
+
+    def test_from_import_alias(self):
+        graph = graph_of(
+            ("src/pkg/a.py", "def helper(lo, hi):\n    pass\n"),
+            ("src/pkg/b.py", "from pkg.a import helper as h\n"),
+        )
+        assert graph.resolve_name("pkg.b", "h") is not None
+        assert graph.resolve_name("pkg.b", "helper") is None
+
+    def test_module_alias_attribute_call(self):
+        graph = graph_of(
+            ("src/pkg/a.py", "def helper(lo, hi):\n    pass\n"),
+            ("src/pkg/b.py", "import pkg.a as mod\n\nmod.helper(1, 2)\n"),
+        )
+        call = first_call("mod.helper(1, 2)")
+        resolved = graph.resolve_call(call, "pkg.b")
+        assert len(resolved) == 1
+        assert resolved[0].qualname == "pkg.a:helper"
+
+    def test_bare_method_yields_candidate_set(self):
+        graph = graph_of(
+            (
+                "src/pkg/a.py",
+                "class A:\n    def solve(self, time_limit=None):\n        pass\n",
+            ),
+            (
+                "src/pkg/b.py",
+                "class B:\n    def solve(self, budget=None):\n        pass\n",
+            ),
+        )
+        call = first_call("obj.solve()")
+        resolved = graph.resolve_call(call, "pkg.a")
+        assert {info.qualname for info in resolved} == {
+            "pkg.a:A.solve",
+            "pkg.b:B.solve",
+        }
+
+    def test_unknown_external_call_is_empty(self):
+        graph = graph_of(("src/pkg/a.py", "x = 1\n"))
+        assert graph.resolve_call(first_call("np.clip(x, 0, 1)"), "pkg.a") == []
+
+
+class TestConstructors:
+    def test_explicit_init_params_strip_self(self):
+        graph = graph_of(
+            (
+                "src/pkg/a.py",
+                "class Box:\n    def __init__(self, lo, hi):\n        pass\n",
+            )
+        )
+        info = graph.resolve_name("pkg.a", "Box")
+        assert info is not None and info.is_ctor
+        assert info.params == ["lo", "hi"]
+
+    def test_dataclass_fields_are_ctor_params(self):
+        graph = graph_of(
+            (
+                "src/pkg/a.py",
+                "from dataclasses import dataclass\n\n"
+                "@dataclass\n"
+                "class Box:\n"
+                "    lo: object\n"
+                "    hi: object\n",
+            )
+        )
+        info = graph.resolve_name("pkg.a", "Box")
+        assert info is not None and info.is_ctor
+        assert info.params == ["lo", "hi"]
+        assert info.param_index("hi") == 1
+
+    def test_plain_class_without_init_is_opaque(self):
+        graph = graph_of(("src/pkg/a.py", "class Opaque:\n    pass\n"))
+        assert graph.resolve_name("pkg.a", "Opaque") is None
+
+
+class TestEdges:
+    def test_name_call_edge(self):
+        graph = graph_of(
+            (
+                "src/pkg/a.py",
+                "def callee():\n"
+                "    pass\n"
+                "\n"
+                "def caller():\n"
+                "    callee()\n",
+            )
+        )
+        assert graph.callees("pkg.a:caller") == {"pkg.a:callee"}
+
+    def test_cross_module_edge(self):
+        graph = graph_of(
+            ("src/pkg/a.py", "def callee():\n    pass\n"),
+            (
+                "src/pkg/b.py",
+                "from pkg.a import callee\n"
+                "\n"
+                "def caller():\n"
+                "    callee()\n",
+            ),
+        )
+        assert graph.callees("pkg.b:caller") == {"pkg.a:callee"}
+
+    def test_methods_indexed_with_class_prefix(self):
+        graph = graph_of(
+            (
+                "src/pkg/a.py",
+                "class C:\n    def method(self, lo):\n        pass\n",
+            )
+        )
+        assert "pkg.a:C.method" in graph.functions
+        assert graph.functions["pkg.a:C.method"].params == ["lo"]

@@ -1,0 +1,248 @@
+"""CFG builder: shape, dominators, path queries, finally tracking."""
+
+import ast
+import textwrap
+
+from tools.analysis.cfg import ENTRY, EXIT, build_cfg
+
+
+def cfg_of(src):
+    tree = ast.parse(textwrap.dedent(src))
+    return build_cfg(tree.body[0]), tree.body[0]
+
+
+def node_at(cfg, fn, lineno):
+    """Node index of the statement starting on ``lineno`` of the def."""
+    for stmt in ast.walk(fn):
+        if isinstance(stmt, ast.stmt) and stmt.lineno == lineno:
+            index = cfg.node_for(stmt)
+            if index is not None:
+                return index
+    raise AssertionError(f"no CFG node at line {lineno}")
+
+
+class TestShape:
+    def test_straight_line(self):
+        cfg, _ = cfg_of(
+            """
+            def f():
+                a = 1
+                b = 2
+                return b
+            """
+        )
+        # ENTRY, EXIT, 3 statements.
+        assert len(cfg.nodes) == 5
+        assert cfg.nodes[ENTRY].preds == set()
+        assert cfg.nodes[EXIT].succs == set()
+        # Single chain: every interior node has one succ.
+        interior = [n for n in cfg.nodes if n.index not in (ENTRY, EXIT)]
+        assert all(len(n.succs) == 1 for n in interior)
+
+    def test_if_produces_branch_and_join(self):
+        cfg, fn = cfg_of(
+            """
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                return a
+            """
+        )
+        header = node_at(cfg, fn, 3)
+        assert len(cfg.nodes[header].succs) == 2
+        ret = node_at(cfg, fn, 7)
+        assert len(cfg.nodes[ret].preds) == 2
+
+    def test_if_without_else_falls_through(self):
+        cfg, fn = cfg_of(
+            """
+            def f(x):
+                if x:
+                    a = 1
+                return x
+            """
+        )
+        header = node_at(cfg, fn, 3)
+        ret = node_at(cfg, fn, 5)
+        assert ret in cfg.nodes[header].succs  # false edge skips the body
+
+    def test_while_has_back_edge_and_exit(self):
+        cfg, fn = cfg_of(
+            """
+            def f(x):
+                while x:
+                    x = x - 1
+                return x
+            """
+        )
+        header = node_at(cfg, fn, 3)
+        body = node_at(cfg, fn, 4)
+        assert header in cfg.nodes[body].succs  # back edge
+        ret = node_at(cfg, fn, 5)
+        assert ret in cfg.nodes[header].succs  # loop-exit edge
+
+    def test_break_jumps_past_loop(self):
+        cfg, fn = cfg_of(
+            """
+            def f(xs):
+                for x in xs:
+                    if x:
+                        break
+                return xs
+            """
+        )
+        brk = node_at(cfg, fn, 5)
+        ret = node_at(cfg, fn, 6)
+        assert ret in cfg.nodes[brk].succs
+
+    def test_continue_jumps_to_header(self):
+        cfg, fn = cfg_of(
+            """
+            def f(xs):
+                for x in xs:
+                    if x:
+                        continue
+                    y = x
+                return xs
+            """
+        )
+        header = node_at(cfg, fn, 3)
+        cont = node_at(cfg, fn, 5)
+        assert cfg.nodes[cont].succs == {header}
+
+    def test_return_goes_straight_to_exit(self):
+        cfg, fn = cfg_of(
+            """
+            def f(x):
+                if x:
+                    return 1
+                return 2
+            """
+        )
+        early = node_at(cfg, fn, 4)
+        assert cfg.nodes[early].succs == {EXIT}
+
+    def test_try_body_edges_into_handler(self):
+        cfg, fn = cfg_of(
+            """
+            def f():
+                try:
+                    a = risky()
+                    b = more()
+                except ValueError:
+                    c = 1
+                return 0
+            """
+        )
+        a = node_at(cfg, fn, 4)
+        b = node_at(cfg, fn, 5)
+        handler = node_at(cfg, fn, 7)
+        # The exception may fire at any body statement.
+        assert handler in cfg.nodes[a].succs
+        assert handler in cfg.nodes[b].succs
+
+    def test_finally_nodes_tracked(self):
+        cfg, fn = cfg_of(
+            """
+            def f():
+                try:
+                    a = risky()
+                finally:
+                    cleanup()
+            """
+        )
+        cleanup = node_at(cfg, fn, 6)
+        assert cleanup in cfg.finally_nodes()
+        assert node_at(cfg, fn, 4) not in cfg.finally_nodes()
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg, _ = cfg_of(
+            """
+            def f(x):
+                if x:
+                    a = 1
+                return x
+            """
+        )
+        doms = cfg.dominators()
+        assert all(
+            ENTRY in doms[n.index] for n in cfg.nodes if doms.get(n.index)
+        )
+
+    def test_branch_does_not_dominate_join(self):
+        cfg, fn = cfg_of(
+            """
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                return a
+            """
+        )
+        doms = cfg.dominators()
+        then_node = node_at(cfg, fn, 4)
+        join = node_at(cfg, fn, 7)
+        header = node_at(cfg, fn, 3)
+        assert then_node not in doms[join]
+        assert header in doms[join]
+
+    def test_gate_before_call_dominates_it(self):
+        cfg, fn = cfg_of(
+            """
+            def f():
+                gate = check()
+                use()
+            """
+        )
+        doms = cfg.dominators()
+        assert node_at(cfg, fn, 3) in doms[node_at(cfg, fn, 4)]
+
+
+class TestReachesExitAvoiding:
+    def test_unavoidable_close_blocks_exit(self):
+        cfg, fn = cfg_of(
+            """
+            def f():
+                s = make()
+                s.use()
+                s.close()
+            """
+        )
+        creation = node_at(cfg, fn, 3)
+        close = node_at(cfg, fn, 5)
+        assert not cfg.reaches_exit_avoiding(creation, {close})
+
+    def test_early_return_leaks_past_close(self):
+        cfg, fn = cfg_of(
+            """
+            def f(x):
+                s = make()
+                if x:
+                    return None
+                s.close()
+            """
+        )
+        creation = node_at(cfg, fn, 3)
+        close = node_at(cfg, fn, 6)
+        assert cfg.reaches_exit_avoiding(creation, {close})
+
+    def test_close_on_both_branches_blocks_exit(self):
+        cfg, fn = cfg_of(
+            """
+            def f(x):
+                s = make()
+                if x:
+                    s.close()
+                else:
+                    s.close()
+                return x
+            """
+        )
+        creation = node_at(cfg, fn, 3)
+        closes = {node_at(cfg, fn, 5), node_at(cfg, fn, 7)}
+        assert not cfg.reaches_exit_avoiding(creation, closes)

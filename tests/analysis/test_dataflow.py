@@ -1,0 +1,261 @@
+"""Dataflow engine: taint semantics, joins, reaching definitions."""
+
+import ast
+import textwrap
+
+from tools.analysis.cfg import build_cfg
+from tools.analysis.dataflow import (
+    ReachingDefinitions,
+    expr_taint,
+    join,
+    run_forward,
+    transfer_taint,
+)
+
+LO = frozenset({"lo"})
+HI = frozenset({"hi"})
+
+
+def attr_taint(attr):
+    if attr in {"lo", "lower", "lb"}:
+        return LO
+    if attr in {"hi", "upper", "ub"}:
+        return HI
+    return frozenset()
+
+
+def taint_of(expr_src, env, through_ops=False):
+    expr = ast.parse(expr_src, mode="eval").body
+    return expr_taint(expr, env, attr_taint, through_ops=through_ops)
+
+
+class TestPureCarrierTaint:
+    def test_name_lookup(self):
+        assert taint_of("x", {"x": LO}) == LO
+
+    def test_attribute_seeds_direction(self):
+        assert taint_of("box.lo", {}) == LO
+        assert taint_of("rec.y.hi", {}) == HI
+
+    def test_copy_and_asarray_carry(self):
+        env = {"x": LO}
+        assert taint_of("x.copy()", env) == LO
+        assert taint_of("np.asarray(x)", env) == LO
+        assert taint_of("box.hi.copy()", {}) == HI
+
+    def test_subscript_carries(self):
+        assert taint_of("xs[0]", {"xs": HI}) == HI
+
+    def test_min_max_union(self):
+        env = {"a": LO, "b": LO, "c": HI}
+        assert taint_of("np.maximum(a, b)", env) == LO
+        # Mixing directions yields mixed (inert) taint.
+        assert taint_of("np.minimum(a, c)", env) == LO | HI
+
+    def test_arithmetic_drops_taint(self):
+        env = {"lo": LO, "hi": HI}
+        assert taint_of("hi - lo", env) == frozenset()  # width
+        assert taint_of("(lo + hi) / 2", env) == frozenset()  # midpoint
+        assert taint_of("-hi", env) == frozenset()  # negation flips roles
+
+    def test_unknown_call_drops_taint(self):
+        assert taint_of("transform(x)", {"x": LO}) == frozenset()
+
+    def test_tuple_unions(self):
+        env = {"a": LO, "b": HI}
+        assert taint_of("(a, b)", env) == LO | HI
+
+
+class TestMentionsTaint:
+    def test_survives_arithmetic(self):
+        env = {"deadline": frozenset({"deadline"})}
+        assert "deadline" in taint_of(
+            "deadline - elapsed", env, through_ops=True
+        )
+
+    def test_survives_calls(self):
+        env = {"deadline": frozenset({"deadline"})}
+        assert "deadline" in taint_of(
+            "max(0.0, deadline - t0)", env, through_ops=True
+        )
+
+    def test_absent_name_is_clean(self):
+        env = {"deadline": frozenset({"deadline"})}
+        assert taint_of("other - 1", env, through_ops=True) == frozenset()
+
+
+def states_for(src, seed, through_ops=False):
+    tree = ast.parse(textwrap.dedent(src))
+    fn = tree.body[0]
+    cfg = build_cfg(fn)
+
+    def transfer(stmt, env):
+        return transfer_taint(stmt, env, attr_taint, through_ops)
+
+    return cfg, fn, run_forward(cfg, seed, transfer)
+
+
+def env_at_line(cfg, fn, states, lineno):
+    for stmt in ast.walk(fn):
+        if isinstance(stmt, ast.stmt) and stmt.lineno == lineno:
+            index = cfg.node_for(stmt)
+            if index is not None and index in states:
+                return states[index]
+    raise AssertionError(f"no analyzed node at line {lineno}")
+
+
+class TestTransfer:
+    def test_assignment_propagates(self):
+        cfg, fn, states = states_for(
+            """
+            def f(box):
+                a = box.lo
+                b = a.copy()
+                use(b)
+            """,
+            {},
+        )
+        env = env_at_line(cfg, fn, states, 5)
+        assert env["a"] == LO
+        assert env["b"] == LO
+
+    def test_parallel_unpack_keeps_directions_separate(self):
+        cfg, fn, states = states_for(
+            """
+            def f(box):
+                a, b = box.lo, box.hi
+                use(a, b)
+            """,
+            {},
+        )
+        env = env_at_line(cfg, fn, states, 4)
+        assert env["a"] == LO
+        assert env["b"] == HI
+
+    def test_branch_join_unions(self):
+        cfg, fn, states = states_for(
+            """
+            def f(box, flag):
+                if flag:
+                    v = box.lo
+                else:
+                    v = box.hi
+                use(v)
+            """,
+            {},
+        )
+        env = env_at_line(cfg, fn, states, 7)
+        assert env["v"] == LO | HI  # mixed at the join
+
+    def test_reassignment_kills_old_taint(self):
+        cfg, fn, states = states_for(
+            """
+            def f(box):
+                v = box.lo
+                v = box.hi
+                use(v)
+            """,
+            {},
+        )
+        assert env_at_line(cfg, fn, states, 5)["v"] == HI
+
+    def test_loop_fixpoint_terminates_and_unions(self):
+        cfg, fn, states = states_for(
+            """
+            def f(box, xs):
+                v = box.lo
+                for x in xs:
+                    v = box.hi
+                use(v)
+            """,
+            {},
+        )
+        assert env_at_line(cfg, fn, states, 6)["v"] == LO | HI
+
+    def test_for_target_inherits_iter_taint(self):
+        cfg, fn, states = states_for(
+            """
+            def f(lows):
+                for v in lows:
+                    use(v)
+            """,
+            {"lows": LO},
+        )
+        assert env_at_line(cfg, fn, states, 4)["v"] == LO
+
+    def test_augassign_keeps_direction(self):
+        cfg, fn, states = states_for(
+            """
+            def f(box):
+                v = box.lo
+                v += 0.5
+                use(v)
+            """,
+            {},
+        )
+        assert env_at_line(cfg, fn, states, 5)["v"] == LO
+
+
+class TestJoin:
+    def test_pointwise_union(self):
+        merged = join([{"a": LO}, {"a": HI, "b": LO}])
+        assert merged == {"a": LO | HI, "b": LO}
+
+    def test_empty(self):
+        assert join([]) == {}
+
+
+class TestReachingDefinitions:
+    def test_single_def_reaches_use(self):
+        tree = ast.parse(
+            textwrap.dedent(
+                """
+                def f():
+                    a = 1
+                    b = a
+                    return b
+                """
+            )
+        )
+        fn = tree.body[0]
+        cfg = build_cfg(fn)
+        states = ReachingDefinitions(cfg).run()
+        use = env_at_line(cfg, fn, states, 4)
+        a_def = cfg.node_for(fn.body[0])
+        assert use["a"] == frozenset({a_def})
+
+    def test_branches_both_reach_join(self):
+        tree = ast.parse(
+            textwrap.dedent(
+                """
+                def f(x):
+                    if x:
+                        a = 1
+                    else:
+                        a = 2
+                    return a
+                """
+            )
+        )
+        fn = tree.body[0]
+        cfg = build_cfg(fn)
+        states = ReachingDefinitions(cfg).run()
+        ret = env_at_line(cfg, fn, states, 7)
+        assert len(ret["a"]) == 2
+
+    def test_redefinition_kills(self):
+        tree = ast.parse(
+            textwrap.dedent(
+                """
+                def f():
+                    a = 1
+                    a = 2
+                    return a
+                """
+            )
+        )
+        fn = tree.body[0]
+        cfg = build_cfg(fn)
+        states = ReachingDefinitions(cfg).run()
+        ret = env_at_line(cfg, fn, states, 5)
+        assert ret["a"] == frozenset({cfg.node_for(fn.body[1])})

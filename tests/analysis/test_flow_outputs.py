@@ -1,0 +1,294 @@
+"""Emitters, diff gating, and the shrink-only baseline contract."""
+
+import json
+
+import pytest
+
+from tools.analysis import Diagnostic, lint_source
+from tools.analysis.baseline import (
+    UNREVIEWED,
+    Baseline,
+    BaselineEntry,
+    load_baseline,
+    write_baseline,
+)
+from tools.analysis.diffmode import filter_to_changed, parse_unified_diff
+from tools.analysis.output import (
+    SARIF_VERSION,
+    TOOL_NAME,
+    to_json_dict,
+    to_sarif_dict,
+)
+from tools.analysis.__main__ import main
+
+LEAKY = (
+    "def leaky(model):\n"
+    "    session = open_session(model)\n"
+    "    return session.solve()\n"
+)
+LEAKY_PATH = "src/repro/runtime/example.py"
+
+
+def leaky_diags():
+    return lint_source(LEAKY, LEAKY_PATH, LEAKY_PATH, flow=True)
+
+
+class TestSarif:
+    def test_findings_become_results(self):
+        diags = leaky_diags()
+        assert diags  # RPR103
+        log = to_sarif_dict(diags)
+        assert log["version"] == SARIF_VERSION
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == TOOL_NAME
+        (result,) = run["results"]
+        assert result["ruleId"] == "RPR103"
+        location = result["locations"][0]
+        physical = location["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == LEAKY_PATH
+        assert physical["region"]["startLine"] == 2
+        assert (
+            location["logicalLocations"][0]["fullyQualifiedName"] == "leaky"
+        )
+
+    def test_rule_catalog_covers_node_and_flow_tiers(self):
+        ids = {
+            rule["id"]
+            for rule in to_sarif_dict([])["runs"][0]["tool"]["driver"]["rules"]
+        }
+        assert {"RPR000", "RPR001", "RPR101", "RPR105"} <= ids
+
+    def test_empty_run_is_valid(self):
+        log = to_sarif_dict([])
+        assert log["runs"][0]["results"] == []
+
+
+class TestJsonReport:
+    def test_flat_findings(self):
+        report = to_json_dict(leaky_diags())
+        assert report["tool"] == TOOL_NAME
+        assert report["count"] == 1
+        (finding,) = report["findings"]
+        assert finding["rule"] == "RPR103"
+        assert finding["path"] == LEAKY_PATH
+        assert finding["symbol"] == "leaky"
+
+    def test_round_trips_through_json(self):
+        assert json.loads(json.dumps(to_json_dict(leaky_diags())))
+
+
+DIFF = """\
+diff --git a/src/repro/a.py b/src/repro/a.py
+--- a/src/repro/a.py
++++ b/src/repro/a.py
+@@ -10,2 +12,3 @@ def f():
++x = 1
++y = 2
++z = 3
+@@ -30 +40 @@ def g():
++w = 4
+diff --git a/src/old.py b/src/old.py
+--- a/src/old.py
++++ /dev/null
+@@ -1,5 +0,0 @@
+-gone = True
+"""
+
+
+class TestDiffMode:
+    def test_hunk_parsing(self):
+        changed = parse_unified_diff(DIFF)
+        assert changed["src/repro/a.py"] == {12, 13, 14, 40}
+        assert "src/old.py" not in changed  # deleted files have no new side
+
+    def test_count_defaults_to_one(self):
+        changed = parse_unified_diff(
+            "+++ b/f.py\n@@ -1 +7 @@\n+line\n"
+        )
+        assert changed["f.py"] == {7}
+
+    def test_filter_keeps_only_changed_lines(self):
+        on_changed = Diagnostic("src/repro/a.py", 12, "RPR001", "m")
+        off_changed = Diagnostic("src/repro/a.py", 99, "RPR001", "m")
+        other_file = Diagnostic("src/repro/b.py", 12, "RPR001", "m")
+        kept = filter_to_changed(
+            [on_changed, off_changed, other_file], parse_unified_diff(DIFF)
+        )
+        assert kept == [on_changed]
+
+
+class TestBaseline:
+    ENTRY = BaselineEntry(
+        "RPR103", LEAKY_PATH, "leaky", "verified intentional: test double"
+    )
+
+    def test_matching_entry_suppresses(self):
+        baseline = Baseline(path="b.json", entries=[self.ENTRY])
+        kept, extra = baseline.apply(leaky_diags())
+        assert kept == []
+        assert extra == []
+
+    def test_unlisted_finding_is_kept(self):
+        baseline = Baseline(path="b.json", entries=[])
+        kept, extra = baseline.apply(leaky_diags())
+        assert [d.code for d in kept] == ["RPR103"]
+        assert extra == []
+
+    def test_stale_entry_fails_shrink_only(self):
+        stale = BaselineEntry("RPR102", "src/gone.py", "f", "old reason")
+        baseline = Baseline(path="b.json", entries=[stale])
+        kept, extra = baseline.apply([])
+        assert kept == []
+        assert [d.code for d in extra] == ["RPR000"]
+        assert "shrink-only" in extra[0].message
+
+    def test_non_flow_codes_never_suppressed(self):
+        diag = Diagnostic(LEAKY_PATH, 3, "RPR001", "m", symbol="leaky")
+        entry = BaselineEntry("RPR001", LEAKY_PATH, "leaky", "nope")
+        # Loader rejects non-flow rules; even a hand-built entry is inert.
+        baseline = Baseline(path="b.json", entries=[entry])
+        kept, _extra = baseline.apply([diag])
+        assert kept == [diag]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = load_baseline(str(tmp_path / "nope.json"))
+        assert baseline.entries == []
+        assert baseline.problems == []
+
+    def test_loader_rejects_unreviewed_reasons(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "entries": [
+                        {
+                            "rule": "RPR103",
+                            "path": LEAKY_PATH,
+                            "symbol": "leaky",
+                            "reason": UNREVIEWED,
+                        }
+                    ]
+                }
+            )
+        )
+        baseline = load_baseline(str(path))
+        assert [p.code for p in baseline.problems] == ["RPR000"]
+        assert "reason" in baseline.problems[0].message
+
+    def test_loader_rejects_non_flow_rule(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(
+            json.dumps(
+                {"entries": [{"rule": "RPR001", "path": "x.py", "reason": "r"}]}
+            )
+        )
+        baseline = load_baseline(str(path))
+        assert [p.code for p in baseline.problems] == ["RPR000"]
+
+    def test_write_stamps_new_entries_unreviewed(self, tmp_path):
+        path = str(tmp_path / "b.json")
+        count = write_baseline(leaky_diags(), path)
+        assert count == 1
+        data = json.loads(open(path).read())
+        (entry,) = data["entries"]
+        assert entry["reason"] == UNREVIEWED
+        # ... which the loader then refuses, closing the loop.
+        assert load_baseline(path).problems
+
+    def test_write_preserves_reviewed_reasons(self, tmp_path):
+        path = str(tmp_path / "b.json")
+        previous = Baseline(path=path, entries=[self.ENTRY])
+        write_baseline(leaky_diags(), path, previous=previous)
+        (entry,) = json.loads(open(path).read())["entries"]
+        assert entry["reason"] == self.ENTRY.reason
+
+    def test_committed_baseline_is_valid(self):
+        baseline = load_baseline()
+        assert baseline.problems == []
+
+
+class TestCli:
+    def write_module(self, tmp_path, body):
+        pkg = tmp_path / "src" / "repro" / "runtime"
+        pkg.mkdir(parents=True)
+        target = pkg / "example.py"
+        target.write_text(body)
+        return target
+
+    def test_clean_run_exits_zero(self, tmp_path, capsys, monkeypatch):
+        self.write_module(tmp_path, "x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["--flow", "src"]) == 0
+        assert "lint: clean" in capsys.readouterr().out
+
+    def test_findings_exit_one_and_emit_reports(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        self.write_module(tmp_path, LEAKY)
+        monkeypatch.chdir(tmp_path)
+        sarif = tmp_path / "out.sarif"
+        report = tmp_path / "out.json"
+        status = main(
+            ["--flow", "src", "--sarif", str(sarif), "--json", str(report)]
+        )
+        assert status == 1
+        assert "RPR103" in capsys.readouterr().out
+        assert json.loads(sarif.read_text())["runs"][0]["results"]
+        assert json.loads(report.read_text())["count"] == 1
+
+    def test_write_baseline_then_reviewed_reason_gates_clean(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        self.write_module(tmp_path, LEAKY)
+        monkeypatch.chdir(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main(
+                [
+                    "--flow",
+                    "src",
+                    "--baseline",
+                    str(baseline),
+                    "--write-baseline",
+                ]
+            )
+            == 0
+        )
+        # Fresh entries are UNREVIEWED: the gate still fails.
+        assert (
+            main(["--flow", "src", "--baseline", str(baseline)]) == 1
+        )
+        data = json.loads(baseline.read_text())
+        data["entries"][0]["reason"] = "verified intentional: fixture"
+        baseline.write_text(json.dumps(data))
+        capsys.readouterr()
+        assert main(["--flow", "src", "--baseline", str(baseline)]) == 0
+        assert "lint: clean" in capsys.readouterr().out
+
+    def test_diff_gate_filters_to_changed_lines(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        self.write_module(tmp_path, LEAKY)
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setattr(
+            "tools.analysis.__main__.changed_lines",
+            lambda ref: {"src/repro/runtime/example.py": {99}},
+        )
+        assert main(["--flow", "src", "--diff", "origin/main"]) == 0
+
+    def test_diff_unavailable_falls_back_to_full(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        self.write_module(tmp_path, LEAKY)
+        monkeypatch.chdir(tmp_path)
+
+        def boom(ref):
+            raise RuntimeError("unknown ref")
+
+        monkeypatch.setattr("tools.analysis.__main__.changed_lines", boom)
+        assert main(["--flow", "src", "--diff", "origin/nope"]) == 1
+        assert "--diff unavailable" in capsys.readouterr().err
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -5,7 +5,14 @@ import sys
 
 import pytest
 
-from tools.analysis import ENGINE_CODE, KNOWN_CODES, lint_paths, lint_source
+from tools.analysis import (
+    ENGINE_CODE,
+    FLOW_CODES,
+    KNOWN_CODES,
+    NODE_CODES,
+    lint_paths,
+    lint_source,
+)
 from tools.analysis.rules import ALL_RULES
 
 
@@ -82,7 +89,9 @@ class TestRuleFixtures:
     def test_rule_codes_unique_and_known(self):
         rule_codes = [r.CODE for r in ALL_RULES]
         assert len(rule_codes) == len(set(rule_codes))
-        assert set(rule_codes) | {ENGINE_CODE} == KNOWN_CODES
+        assert set(rule_codes) == set(NODE_CODES)
+        assert NODE_CODES | FLOW_CODES | {ENGINE_CODE} == KNOWN_CODES
+        assert not NODE_CODES & FLOW_CODES
 
 
 class TestRuleScoping:
@@ -230,9 +239,14 @@ class TestSatelliteRegressions:
 
     def test_registry_fix_is_load_bearing(self):
         # The pre-fix import shape of tests/milp/test_backend_registry.py.
+        # Test paths now carry the relaxed profile (RPR003 exempt there),
+        # so the property is asserted on a src path instead.
         src = "from repro.milp import scipy_backend\n"
-        relpath = "tests/milp/test_backend_registry.py"
+        relpath = "src/repro/certify/example.py"
         assert "RPR003" in codes(lint_source(src, relpath, relpath))
+        # ... and the relaxed test profile really is relaxed.
+        test_relpath = "tests/milp/test_backend_registry.py"
+        assert lint_source(src, test_relpath, test_relpath) == []
 
     def test_batch_waiver_is_load_bearing(self):
         with open("src/repro/runtime/batch.py", encoding="utf-8") as handle:

@@ -227,11 +227,11 @@ class TestHookSites:
         model.add_constr(x + y <= 2.0)
         model.set_objective(x + y, "max")
         with sanitizing():
-            session = open_session(
+            with open_session(
                 model, backend="python:simplex", warm_start=True
-            )
-            first = session.solve()
-            session.set_var_bounds([x, y], 0.0, 0.5)
-            second = session.solve()
+            ) as session:
+                first = session.solve()
+                session.set_var_bounds([x, y], 0.0, 0.5)
+                second = session.solve()
         assert first.is_optimal and second.is_optimal
         assert second.objective == pytest.approx(1.0)

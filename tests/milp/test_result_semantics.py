@@ -12,11 +12,9 @@ import types
 import numpy as np
 import pytest
 
-# repro-lint: ignore[RPR003] — this test monkeypatches scipy_backend.sopt.linprog and drives ScipyBackend._solve_lp directly; the registry cannot reach those internals
 import repro.milp.scipy_backend as scipy_backend_mod
 from repro.milp import Model, SolveResult, SolveStatus
 from repro.milp.branch_bound import BranchBoundBackend
-# repro-lint: ignore[RPR003] — same as above: white-box test of the concrete class's status mapping
 from repro.milp.scipy_backend import ScipyBackend
 from repro.milp.solution import finalize_user_sense
 

@@ -230,12 +230,12 @@ def test_conflicting_bounds_report_infeasible(backend, warm):
     inst = RandomInstance(0)
     model, xs = inst.build()
     model.set_objective(linexpr(xs, inst.c), inst.sense)
-    session = open_session(model, backend=backend, warm_start=warm)
-    session.set_var_bounds([0], 1.0, -1.0)
-    assert session.solve().status is SolveStatus.INFEASIBLE
-    # Restoring sane bounds revives the session.
-    session.set_var_bounds([0], inst.lo[0], inst.hi[0])
-    assert session.solve().status is SolveStatus.OPTIMAL
+    with open_session(model, backend=backend, warm_start=warm) as session:
+        session.set_var_bounds([0], 1.0, -1.0)
+        assert session.solve().status is SolveStatus.INFEASIBLE
+        # Restoring sane bounds revives the session.
+        session.set_var_bounds([0], inst.lo[0], inst.hi[0])
+        assert session.solve().status is SolveStatus.OPTIMAL
 
 
 def test_session_solve_objectives_falls_back_without_sessions():
@@ -336,6 +336,7 @@ def test_fix_relu_phase_matches_fresh_indicator_fix(backend, warm):
     # End-to-end neuron split: the two branches are exhaustive, so the
     # best branch optimum IS the unbranched optimum.
     assert max(branch_optima) == pytest.approx(unfixed.objective, rel=1e-6)
+    session.close()
 
 
 def test_neuron_split_tightens_lp_relaxation_soundly():
@@ -384,6 +385,7 @@ def test_neuron_split_tightens_lp_relaxation_soundly():
         result = session.solve()
         assert result.status is SolveStatus.OPTIMAL
         branch_bounds.append(result.objective)
+        session.close()
 
     split_ub = max(branch_bounds)
     assert split_ub >= exact_opt - 1e-6  # sound
@@ -396,7 +398,9 @@ def test_fix_relu_phase_requires_metadata():
     session = open_session(enc.model, backend="scipy")  # no relu_info
     with pytest.raises(ValueError, match="no ReLU metadata"):
         session.fix_relu_phase(0, 0, "active")
+    session.close()
     with_info = open_session(enc.model, backend="scipy",
                              relu_info=enc.relu_vars)
     with pytest.raises(ValueError, match="unknown ReLU phase"):
         with_info.fix_relu_phase(*first_unstable(enc), "sideways")
+    with_info.close()

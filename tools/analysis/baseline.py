@@ -1,0 +1,188 @@
+"""Shrink-only findings baseline for the flow rules.
+
+New rules land on a codebase with pre-existing findings.  Rather than a
+mass waiver sweep (one comment per site) or a big-bang fix, the flow
+tier uses a **ratchet baseline**: ``flow_baseline.json`` lists every
+finding that was verified intentional, keyed by a line-drift-stable
+fingerprint ``(rule, path, symbol)`` plus a mandatory human-written
+reason.  The contract, enforced here:
+
+* a finding matching a baseline entry is suppressed (the entry is
+  *used*);
+* a finding **not** in the baseline fails the run — the baseline can
+  never silently grow;
+* a baseline entry that matched nothing is **stale** and fails the run
+  (shrink-only: fixing a finding forces deleting its entry);
+* an entry without a real reason (empty or ``UNREVIEWED``) fails the
+  run — ``--write-baseline`` stamps new entries ``UNREVIEWED`` exactly
+  so they cannot be committed unread.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from tools.analysis import ENGINE_CODE, FLOW_CODES, Diagnostic
+
+DEFAULT_BASELINE_PATH = os.path.join("tools", "analysis", "flow_baseline.json")
+
+#: Reason value --write-baseline stamps on new entries; the engine
+#: rejects it so every committed entry carries a reviewed justification.
+UNREVIEWED = "UNREVIEWED"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One intentionally-accepted finding."""
+
+    rule: str
+    path: str
+    symbol: str
+    reason: str
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.symbol)
+
+
+@dataclass
+class Baseline:
+    """The parsed baseline file plus its bookkeeping."""
+
+    path: str
+    entries: list[BaselineEntry] = field(default_factory=list)
+    #: Diagnostics about the baseline file itself (bad JSON, missing
+    #: reasons) — reported unconditionally.
+    problems: list[Diagnostic] = field(default_factory=list)
+
+    def apply(
+        self, diagnostics: list[Diagnostic]
+    ) -> tuple[list[Diagnostic], list[Diagnostic]]:
+        """Split ``diagnostics`` against the baseline.
+
+        Returns:
+            ``(kept, extra)`` — ``kept`` is every diagnostic not
+            suppressed by an entry; ``extra`` is the baseline's own
+            problems plus one RPR000 per stale (unused) entry.
+        """
+        by_key: dict[tuple[str, str, str], BaselineEntry] = {
+            e.key: e for e in self.entries
+        }
+        used: set[tuple[str, str, str]] = set()
+        kept: list[Diagnostic] = []
+        for diag in diagnostics:
+            key = (diag.code, diag.path.replace(os.sep, "/"), diag.symbol)
+            entry = by_key.get(key)
+            if entry is not None and diag.code in FLOW_CODES:
+                used.add(key)
+                continue
+            kept.append(diag)
+        extra = list(self.problems)
+        for entry in self.entries:
+            if entry.key in used:
+                continue
+            extra.append(
+                Diagnostic(
+                    self.path,
+                    1,
+                    ENGINE_CODE,
+                    f"stale baseline entry: ({entry.rule}, {entry.path}, "
+                    f"{entry.symbol}) matched no finding — the baseline is "
+                    "shrink-only, delete it",
+                )
+            )
+        return kept, extra
+
+
+def load_baseline(path: str = DEFAULT_BASELINE_PATH) -> Baseline:
+    """Load and validate ``path`` (a missing file is an empty baseline)."""
+    baseline = Baseline(path=path)
+    if not os.path.exists(path):
+        return baseline
+    try:
+        with open(path, encoding="utf-8") as handle:
+            raw = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        baseline.problems.append(
+            Diagnostic(path, 1, ENGINE_CODE, f"baseline unreadable: {exc}")
+        )
+        return baseline
+    for i, item in enumerate(raw.get("entries", [])):
+        rule = str(item.get("rule", ""))
+        epath = str(item.get("path", ""))
+        symbol = str(item.get("symbol", "<module>"))
+        reason = str(item.get("reason", "")).strip()
+        if rule not in FLOW_CODES or not epath:
+            baseline.problems.append(
+                Diagnostic(
+                    path,
+                    1,
+                    ENGINE_CODE,
+                    f"baseline entry #{i} malformed: needs a flow rule code "
+                    "and a path",
+                )
+            )
+            continue
+        if not reason or reason == UNREVIEWED:
+            baseline.problems.append(
+                Diagnostic(
+                    path,
+                    1,
+                    ENGINE_CODE,
+                    f"baseline entry #{i} ({rule}, {epath}, {symbol}) has no "
+                    "reviewed reason — justify it or fix the finding",
+                )
+            )
+        baseline.entries.append(BaselineEntry(rule, epath, symbol, reason))
+    return baseline
+
+
+def write_baseline(
+    diagnostics: list[Diagnostic],
+    path: str = DEFAULT_BASELINE_PATH,
+    previous: Baseline | None = None,
+) -> int:
+    """Regenerate the baseline from the current flow findings.
+
+    Entries that survive from ``previous`` keep their reasons; new ones
+    are stamped :data:`UNREVIEWED` so the file cannot pass the gate
+    until a human writes the justification.
+
+    Returns:
+        Number of entries written.
+    """
+    old: dict[tuple[str, str, str], str] = {}
+    if previous is not None:
+        old = {e.key: e.reason for e in previous.entries}
+    seen: set[tuple[str, str, str]] = set()
+    entries: list[dict[str, str]] = []
+    for diag in diagnostics:
+        if diag.code not in FLOW_CODES:
+            continue
+        key = (diag.code, diag.path.replace(os.sep, "/"), diag.symbol)
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append(
+            {
+                "rule": key[0],
+                "path": key[1],
+                "symbol": key[2],
+                "reason": old.get(key, UNREVIEWED),
+            }
+        )
+    entries.sort(key=lambda e: (e["path"], e["rule"], e["symbol"]))
+    payload = {
+        "_comment": (
+            "Shrink-only flow-findings baseline. Every entry needs a "
+            "reviewed reason; stale entries fail the gate and must be "
+            "deleted. Regenerate with --write-baseline."
+        ),
+        "entries": entries,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return len(entries)

@@ -1,0 +1,300 @@
+"""Import-resolved project call graph for the interprocedural rules.
+
+Built once per lint run over *every* parsed file, then queried by the
+flow rules: "what function does this ``Call`` land in, and what are
+its parameter names?".  Resolution is deliberately static and layered:
+
+1. ``Name`` calls resolve through the calling module's import table
+   (``from repro.milp.session import open_session``, aliases included)
+   or to a function/class defined in the same module;
+2. ``module.attr`` calls resolve through ``import repro.milp.session
+   as s`` style aliases;
+3. bare method calls (``obj.method(...)``) fall back to the *name
+   index*: every project function/ctor with that name.  Rules treat
+   this as a candidate set and only act when the candidates agree —
+   ambiguity must never manufacture a finding.
+
+Classes are first-class callees: calling ``Box(lo, hi)`` resolves to
+the class's ``__init__`` parameters, or — for ``@dataclass`` classes
+without one — to the ordered annotated fields, which is exactly the
+generated ``__init__`` signature.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["CallGraph", "FunctionInfo", "ModuleInfo", "build_call_graph"]
+
+
+@dataclass
+class FunctionInfo:
+    """One project function (or class constructor) as a call target.
+
+    Attributes:
+        qualname: ``module:Class.method`` or ``module:function``.
+        module: Dotted module name the def lives in.
+        name: Bare name (``method`` / ``function`` / class name for
+            constructors).
+        params: Parameter names in positional order, ``self``/``cls``
+            stripped.
+        node: The defining AST node (``FunctionDef`` or, for dataclass
+            constructors, the ``ClassDef``).
+        relpath: Repo-relative path of the defining file.
+        is_ctor: Whether this entry represents calling a class.
+    """
+
+    qualname: str
+    module: str
+    name: str
+    params: list[str]
+    node: ast.AST
+    relpath: str
+    is_ctor: bool = False
+
+    def param_index(self, name: str) -> int | None:
+        """Positional index of parameter ``name`` (``None`` if absent)."""
+        try:
+            return self.params.index(name)
+        except ValueError:
+            return None
+
+
+@dataclass
+class ModuleInfo:
+    """Per-module symbol and import tables."""
+
+    name: str
+    relpath: str
+    #: Local alias -> fully qualified target ("repro.milp.session" for
+    #: module imports, "repro.milp.session.open_session" for from-imports).
+    imports: dict[str, str] = field(default_factory=dict)
+    #: Names defined at module top level (functions, classes, assigns).
+    toplevel: set[str] = field(default_factory=set)
+
+
+def module_name_of(relpath: str) -> str:
+    """Dotted module name for a repo-relative path.
+
+    ``src/repro/milp/session.py`` → ``repro.milp.session``;
+    ``tests/milp/test_session.py`` → ``tests.milp.test_session``;
+    ``__init__.py`` files name their package.
+    """
+    path = relpath.replace("\\", "/")
+    for prefix in ("src/",):
+        if path.startswith(prefix):
+            path = path[len(prefix):]
+    if path.endswith(".py"):
+        path = path[: -len(".py")]
+    if path.endswith("/__init__"):
+        path = path[: -len("/__init__")]
+    return path.replace("/", ".")
+
+
+def _ctor_params(cls: ast.ClassDef) -> list[str] | None:
+    """Constructor parameter names of ``cls`` (``None`` if opaque)."""
+    for child in cls.body:
+        if (
+            isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and child.name == "__init__"
+        ):
+            return _params(child)[0]
+    decorated = any(
+        (isinstance(d, ast.Name) and d.id == "dataclass")
+        or (
+            isinstance(d, ast.Call)
+            and isinstance(d.func, ast.Name)
+            and d.func.id == "dataclass"
+        )
+        or (isinstance(d, ast.Attribute) and d.attr == "dataclass")
+        for d in cls.decorator_list
+    )
+    if decorated:
+        return [
+            child.target.id
+            for child in cls.body
+            if isinstance(child, ast.AnnAssign) and isinstance(child.target, ast.Name)
+        ]
+    return None
+
+
+def _params(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple[list[str], bool]:
+    """(positional parameter names minus self/cls, had_self)."""
+    args = [*fn.args.posonlyargs, *fn.args.args]
+    had_self = bool(args) and args[0].arg in {"self", "cls"}
+    names = [a.arg for a in args]
+    if had_self:
+        names = names[1:]
+    names.extend(a.arg for a in fn.args.kwonlyargs)
+    return names, had_self
+
+
+class CallGraph:
+    """Queryable index of every project function, class and import."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        #: bare name -> every FunctionInfo carrying it.
+        self.by_name: dict[str, list[FunctionInfo]] = {}
+        #: caller qualname -> set of callee qualnames (Name calls only).
+        self.edges: dict[str, set[str]] = {}
+
+    def _add_function(self, info: FunctionInfo) -> None:
+        self.functions[info.qualname] = info
+        self.by_name.setdefault(info.name, []).append(info)
+
+    # -- resolution -------------------------------------------------------
+
+    def resolve_name(self, module: str, name: str) -> FunctionInfo | None:
+        """Resolve a bare ``Name`` callee inside ``module``."""
+        mod = self.modules.get(module)
+        local = self.functions.get(f"{module}:{name}")
+        if local is not None:
+            return local
+        if mod is not None and name in mod.imports:
+            target = mod.imports[name]
+            # from pkg.mod import fn  ->  target "pkg.mod.fn"
+            head, _, leaf = target.rpartition(".")
+            info = self.functions.get(f"{head}:{leaf}")
+            if info is not None:
+                return info
+            # from pkg import mod would make `name` a module alias; a
+            # bare call through it is not a function call we can see.
+        return None
+
+    def resolve_call(self, call: ast.Call, module: str) -> list[FunctionInfo]:
+        """Candidate targets of ``call`` made from ``module``.
+
+        A single-element list is a confident resolution; several
+        elements mean a bare-method-name fallback (rules should demand
+        agreement); empty means unknown/external.
+        """
+        func = call.func
+        if isinstance(func, ast.Name):
+            info = self.resolve_name(module, func.id)
+            return [info] if info is not None else []
+        if isinstance(func, ast.Attribute):
+            # module-alias attribute: session.open_session(...)
+            if isinstance(func.value, ast.Name):
+                mod = self.modules.get(module)
+                alias = func.value.id
+                if mod is not None and alias in mod.imports:
+                    target_mod = mod.imports[alias]
+                    info = self.functions.get(f"{target_mod}:{func.attr}")
+                    if info is not None:
+                        return [info]
+            # bare method name: all project defs sharing the name.
+            return list(self.by_name.get(func.attr, []))
+        return []
+
+    def callees(self, qualname: str) -> set[str]:
+        """Confidently-resolved (Name-call) callees of ``qualname``."""
+        return set(self.edges.get(qualname, set()))
+
+
+def _collect_imports(tree: ast.Module, info: ModuleInfo) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                info.imports[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                info.imports[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+
+
+def build_call_graph(files: list[tuple[str, ast.Module]]) -> CallGraph:
+    """Build the graph from ``(relpath, parsed module)`` pairs."""
+    graph = CallGraph()
+    for relpath, tree in files:
+        module = module_name_of(relpath)
+        info = ModuleInfo(name=module, relpath=relpath)
+        graph.modules[module] = info
+        _collect_imports(tree, info)
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.toplevel.add(node.name)
+                params, _ = _params(node)
+                graph._add_function(
+                    FunctionInfo(
+                        qualname=f"{module}:{node.name}",
+                        module=module,
+                        name=node.name,
+                        params=params,
+                        node=node,
+                        relpath=relpath,
+                    )
+                )
+            elif isinstance(node, ast.ClassDef):
+                info.toplevel.add(node.name)
+                ctor = _ctor_params(node)
+                if ctor is not None:
+                    graph._add_function(
+                        FunctionInfo(
+                            qualname=f"{module}:{node.name}",
+                            module=module,
+                            name=node.name,
+                            params=ctor,
+                            node=node,
+                            relpath=relpath,
+                            is_ctor=True,
+                        )
+                    )
+                for child in node.body:
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        params, _ = _params(child)
+                        graph._add_function(
+                            FunctionInfo(
+                                qualname=f"{module}:{node.name}.{child.name}",
+                                module=module,
+                                name=child.name,
+                                params=params,
+                                node=child,
+                                relpath=relpath,
+                            )
+                        )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        info.toplevel.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                info.toplevel.add(node.target.id)
+
+    # Name-call edges (confident resolutions only).
+    for relpath, tree in files:
+        module = module_name_of(relpath)
+        for owner, fn_node in _iter_functions(tree):
+            caller = f"{module}:{owner}"
+            targets = graph.edges.setdefault(caller, set())
+            for node in ast.walk(fn_node):
+                if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                    resolved = graph.resolve_name(module, node.func.id)
+                    if resolved is not None:
+                        targets.add(resolved.qualname)
+    return graph
+
+
+def _iter_functions(
+    tree: ast.Module,
+) -> list[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """(dotted owner name, node) for every def, including methods."""
+    out: list[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]] = []
+
+    def visit(nodes: list[ast.stmt], prefix: str) -> None:
+        for node in nodes:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = f"{prefix}{node.name}"
+                out.append((name, node))
+                visit(node.body, f"{name}.")
+            elif isinstance(node, ast.ClassDef):
+                visit(node.body, f"{prefix}{node.name}.")
+
+    visit(tree.body, "")
+    return out

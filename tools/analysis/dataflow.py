@@ -1,0 +1,329 @@
+"""Forward dataflow over :mod:`tools.analysis.cfg` graphs.
+
+Two analyses power the flow rules:
+
+* :class:`ReachingDefinitions` — the textbook gen/kill analysis, used
+  by the engine tests and available to future rules;
+* taint propagation — an environment ``{local name -> frozenset of
+  labels}`` advanced statement by statement with
+  :func:`transfer_taint`, whose expression semantics come in two
+  strengths:
+
+  - **pure carrier** mode (``through_ops=False``, RPR101): taint
+    survives only value-preserving carriers — bare names, attribute /
+    subscript access, ``copy``/``asarray``-style calls and
+    ``min``/``max`` families (direction-preserving when their inputs
+    agree).  Arithmetic *mixes* and therefore drops taint: ``hi - lo``
+    is a width, not a bound, and must not flag.
+  - **mentions** mode (``through_ops=True``, RPR102): taint survives
+    any expression that mentions a tainted name (``deadline -
+    elapsed`` still carries the deadline), which is what "forwarded a
+    derived value" means for deadline threading.
+
+Environments join by pointwise union, so a value tainted ``{"lo"}`` on
+one branch and ``{"hi"}`` on another is *mixed* at the join — mixed
+taint never triggers a direction sink.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Iterable
+
+from tools.analysis.cfg import CFG, ENTRY
+
+__all__ = [
+    "Env",
+    "ReachingDefinitions",
+    "expr_taint",
+    "join",
+    "run_forward",
+    "transfer_taint",
+]
+
+Env = dict[str, frozenset]
+
+#: Calls that return their (first) argument's value essentially
+#: unchanged — taint passes straight through them in pure-carrier mode.
+CARRIER_CALLS = frozenset(
+    {
+        "copy",
+        "deepcopy",
+        "array",
+        "asarray",
+        "ascontiguousarray",
+        "asanyarray",
+        "atleast_1d",
+        "atleast_2d",
+        "float",
+        "abs",  # |bound| keeps magnitude semantics for eps math
+        "reshape",
+        "ravel",
+        "flatten",
+        "squeeze",
+        "astype",
+        "tolist",
+    }
+)
+
+#: Direction-preserving reducers: min of lower bounds is a lower bound.
+#: Their taint is the union over all arguments, so mixing lo and hi
+#: inputs yields mixed (hence inert) taint.
+REDUCER_CALLS = frozenset({"min", "max", "minimum", "maximum", "fmin", "fmax"})
+
+
+def _call_name(call: ast.Call) -> str:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def expr_taint(
+    expr: ast.expr,
+    env: Env,
+    attr_taint: Callable[[str], frozenset] | None = None,
+    through_ops: bool = False,
+) -> frozenset:
+    """Taint carried by ``expr`` under environment ``env``.
+
+    Args:
+        expr: The expression to evaluate.
+        env: Current variable-taint environment.
+        attr_taint: Optional ``attr name -> labels`` source function
+            (e.g. ``.lo`` attributes seed ``{"lo"}`` for RPR101).
+        through_ops: ``True`` = mentions mode (union over every
+            subexpression); ``False`` = pure-carrier mode.
+    """
+    if through_ops:
+        out: frozenset = frozenset()
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name):
+                out |= env.get(node.id, frozenset())
+            elif isinstance(node, ast.Attribute) and attr_taint is not None:
+                out |= attr_taint(node.attr)
+        return out
+    return _pure_taint(expr, env, attr_taint)
+
+
+def _pure_taint(
+    expr: ast.expr, env: Env, attr_taint: Callable[[str], frozenset] | None
+) -> frozenset:
+    if isinstance(expr, ast.Name):
+        return env.get(expr.id, frozenset())
+    if isinstance(expr, ast.Attribute):
+        if attr_taint is not None:
+            seeded = attr_taint(expr.attr)
+            if seeded:
+                return seeded
+        return _pure_taint(expr.value, env, attr_taint)
+    if isinstance(expr, ast.Subscript):
+        return _pure_taint(expr.value, env, attr_taint)
+    if isinstance(expr, ast.Starred):
+        return _pure_taint(expr.value, env, attr_taint)
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        out: frozenset = frozenset()
+        for elt in expr.elts:
+            out |= _pure_taint(elt, env, attr_taint)
+        return out
+    if isinstance(expr, ast.IfExp):
+        return _pure_taint(expr.body, env, attr_taint) | _pure_taint(
+            expr.orelse, env, attr_taint
+        )
+    if isinstance(expr, ast.Call):
+        name = _call_name(expr)
+        if name in CARRIER_CALLS and expr.args:
+            # numpy-style calls: the payload is the first argument for
+            # np.asarray(x); for x.copy()/x.astype(...) it is the
+            # receiver, covered by Attribute func below.
+            return _pure_taint(expr.args[0], env, attr_taint)
+        if name in CARRIER_CALLS and isinstance(expr.func, ast.Attribute):
+            return _pure_taint(expr.func.value, env, attr_taint)
+        if name in REDUCER_CALLS:
+            out = frozenset()
+            for arg in expr.args:
+                out |= _pure_taint(arg, env, attr_taint)
+            return out
+        return frozenset()
+    # Arithmetic, comparisons, literals, comprehensions: mixing drops
+    # direction taint in pure mode.
+    return frozenset()
+
+
+def _assign_target(
+    target: ast.expr, value_taint: frozenset, env: Env
+) -> None:
+    if isinstance(target, ast.Name):
+        env[target.id] = value_taint
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            _assign_target(elt, value_taint, env)
+    elif isinstance(target, ast.Starred):
+        _assign_target(target.value, value_taint, env)
+    # Attribute / subscript stores mutate objects, not locals: sinks,
+    # handled by the rules, never environment updates.
+
+
+def transfer_taint(
+    stmt: ast.stmt | None,
+    env: Env,
+    attr_taint: Callable[[str], frozenset] | None = None,
+    through_ops: bool = False,
+) -> Env:
+    """Advance a taint environment across one CFG node's statement."""
+    if stmt is None:
+        return env
+    env = dict(env)
+    if isinstance(stmt, ast.Assign):
+        taint = expr_taint(stmt.value, env, attr_taint, through_ops)
+        if (
+            isinstance(stmt.value, (ast.Tuple, ast.List))
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], (ast.Tuple, ast.List))
+            and len(stmt.targets[0].elts) == len(stmt.value.elts)
+        ):
+            # Parallel unpack: a, b = lo, hi keeps directions separate.
+            for tgt, val in zip(stmt.targets[0].elts, stmt.value.elts):
+                _assign_target(
+                    tgt, expr_taint(val, env, attr_taint, through_ops), env
+                )
+        else:
+            for target in stmt.targets:
+                _assign_target(target, taint, env)
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        _assign_target(
+            stmt.target, expr_taint(stmt.value, env, attr_taint, through_ops), env
+        )
+    elif isinstance(stmt, ast.AugAssign):
+        # x += step keeps x's direction; mentions mode also unions in
+        # the increment's taint.
+        if isinstance(stmt.target, ast.Name):
+            extra = (
+                expr_taint(stmt.value, env, attr_taint, through_ops)
+                if through_ops
+                else frozenset()
+            )
+            env[stmt.target.id] = env.get(stmt.target.id, frozenset()) | extra
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        # Iterating an array of lower bounds yields lower bounds.
+        _assign_target(
+            stmt.target, expr_taint(stmt.iter, env, attr_taint, through_ops), env
+        )
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                _assign_target(
+                    item.optional_vars,
+                    expr_taint(item.context_expr, env, attr_taint, through_ops),
+                    env,
+                )
+    return env
+
+
+def join(envs: Iterable[Env]) -> Env:
+    """Pointwise-union join of taint environments."""
+    out: Env = {}
+    for env in envs:
+        for name, labels in env.items():
+            out[name] = out.get(name, frozenset()) | labels
+    return out
+
+
+def run_forward(
+    cfg: CFG,
+    initial: Env,
+    transfer: Callable[[ast.stmt | None, Env], Env],
+) -> dict[int, Env]:
+    """Generic forward worklist analysis; returns IN[] per node index.
+
+    ``transfer`` maps ``(stmt, in_env) -> out_env`` for one node.  Join
+    is :func:`join` (pointwise union); the fixpoint exists because the
+    label sets only grow and are drawn from a finite alphabet.
+    """
+    n = len(cfg.nodes)
+    in_envs: list[Env | None] = [None] * n
+    out_envs: list[Env | None] = [None] * n
+    in_envs[ENTRY] = dict(initial)
+    out_envs[ENTRY] = transfer(None, dict(initial))
+    work = [s for s in cfg.nodes[ENTRY].succs]
+    while work:
+        node = work.pop()
+        preds = [out_envs[p] for p in cfg.nodes[node].preds]
+        new_in = join([p for p in preds if p is not None])
+        if in_envs[node] is not None and new_in == in_envs[node]:
+            continue
+        in_envs[node] = new_in
+        new_out = transfer(cfg.nodes[node].stmt, new_in)
+        if new_out != out_envs[node]:
+            out_envs[node] = new_out
+            work.extend(cfg.nodes[node].succs)
+    return {i: env for i, env in enumerate(in_envs) if env is not None}
+
+
+class ReachingDefinitions:
+    """Which assignments may reach each node (gen/kill over the CFG).
+
+    A *definition* is ``(variable name, defining node index)``; the
+    analysis environment maps each variable to the set of node indices
+    whose assignment may still be live.  Mostly exercised by the unit
+    tests; the taint rules use the same engine with richer transfer
+    functions.
+    """
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+
+    @staticmethod
+    def _defined_names(stmt: ast.stmt | None) -> list[str]:
+        if stmt is None:
+            return []
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            targets = [stmt.target]
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            targets = [stmt.target]
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            targets = [
+                item.optional_vars
+                for item in stmt.items
+                if item.optional_vars is not None
+            ]
+        names: list[str] = []
+        for target in targets:
+            for node in ast.walk(target):
+                if isinstance(node, ast.Name):
+                    names.append(node.id)
+        return names
+
+    def run(self) -> dict[int, Env]:
+        """IN[] per node: ``{var: frozenset(defining node indices)}``."""
+        node_names = {
+            node.index: self._defined_names(node.stmt) for node in self.cfg.nodes
+        }
+
+        def transfer(stmt: ast.stmt | None, env: Env) -> Env:
+            if stmt is None:
+                return env
+            index = self.cfg.node_of_stmt.get(id(stmt))
+            names = node_names.get(index, []) if index is not None else []
+            if not names:
+                return env
+            env = dict(env)
+            for name in names:
+                env[name] = frozenset({index})
+            return env
+
+        params = [
+            a.arg
+            for a in [
+                *self.cfg.func.args.posonlyargs,
+                *self.cfg.func.args.args,
+                *self.cfg.func.args.kwonlyargs,
+            ]
+        ]
+        initial: Env = {name: frozenset({ENTRY}) for name in params}
+        return run_forward(self.cfg, initial, transfer)

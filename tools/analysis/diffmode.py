@@ -1,0 +1,80 @@
+"""``--diff <base-ref>`` support: findings on changed lines only.
+
+The blocking CI gate lints the *delta*: a PR is responsible for the
+lines it touches, not for pre-existing findings elsewhere (those are
+the full run's job — nightly, plus the shrink-only baseline).  Changed
+lines come from ``git diff --unified=0 <base-ref>``, parsed from the
+hunk headers; a file's diagnostics survive the filter only when their
+line is inside a ``+`` hunk.
+
+Engine diagnostics (RPR000) about files *not* in the diff are dropped
+like any other; parse errors on a changed file always survive because
+the whole file is attributed line 1..N when git reports it as added.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+
+from tools.analysis import Diagnostic
+
+_HUNK_RE = re.compile(r"^@@ -\d+(?:,\d+)? \+(\d+)(?:,(\d+))? @@")
+
+
+def parse_unified_diff(diff_text: str) -> dict[str, set[int]]:
+    """``path -> changed (new-side) line numbers`` from unified=0 output."""
+    changed: dict[str, set[int]] = {}
+    current: set[int] | None = None
+    for line in diff_text.splitlines():
+        if line.startswith("+++ "):
+            target = line[4:].strip()
+            if target == "/dev/null":
+                current = None
+                continue
+            if target.startswith("b/"):
+                target = target[2:]
+            current = changed.setdefault(target, set())
+            continue
+        match = _HUNK_RE.match(line)
+        if match and current is not None:
+            start = int(match.group(1))
+            count = int(match.group(2)) if match.group(2) is not None else 1
+            current.update(range(start, start + count))
+    return changed
+
+
+def changed_lines(
+    base_ref: str, paths: list[str] | None = None, cwd: str | None = None
+) -> dict[str, set[int]]:
+    """Changed lines vs ``base_ref`` via ``git diff --unified=0``.
+
+    Raises:
+        RuntimeError: When git fails (unknown ref, not a repo) — the
+            caller should fall back to a full run rather than silently
+            passing an empty delta.
+    """
+    cmd = ["git", "diff", "--unified=0", "--no-color", base_ref, "--"]
+    if paths:
+        cmd.extend(paths)
+    proc = subprocess.run(
+        cmd, capture_output=True, text=True, cwd=cwd, check=False
+    )
+    if proc.returncode not in (0, 1):
+        raise RuntimeError(
+            f"git diff against {base_ref!r} failed: {proc.stderr.strip()}"
+        )
+    return parse_unified_diff(proc.stdout)
+
+
+def filter_to_changed(
+    diagnostics: list[Diagnostic], changed: dict[str, set[int]]
+) -> list[Diagnostic]:
+    """Keep diagnostics whose (path, line) falls on a changed line."""
+    out: list[Diagnostic] = []
+    for diag in diagnostics:
+        lines = changed.get(diag.path.replace(os.sep, "/"))
+        if lines and diag.line in lines:
+            out.append(diag)
+    return out

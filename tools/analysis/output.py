@@ -1,0 +1,112 @@
+"""Machine-readable emitters: SARIF 2.1.0 and plain JSON.
+
+SARIF is what GitHub's code-scanning upload understands — emitting it
+from the analysis job turns every finding into an inline PR annotation.
+The JSON form is a stable flat list for ad-hoc tooling (jq, dashboards).
+Both are pure functions of the diagnostic list, so tests can assert on
+the structures directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from tools.analysis import ENGINE_CODE, Diagnostic
+from tools.analysis.rules import ALL_RULES
+from tools.analysis.rules_flow import ALL_FLOW_RULES
+
+TOOL_NAME = "repro-lint"
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_catalog() -> list[dict[str, Any]]:
+    rules: list[dict[str, Any]] = [
+        {
+            "id": ENGINE_CODE,
+            "shortDescription": {
+                "text": "engine: waiver/baseline hygiene and parse errors"
+            },
+        }
+    ]
+    for rule in [*ALL_RULES, *ALL_FLOW_RULES]:
+        rules.append(
+            {"id": rule.CODE, "shortDescription": {"text": rule.SUMMARY}}
+        )
+    return rules
+
+
+def to_sarif_dict(diagnostics: list[Diagnostic]) -> dict[str, Any]:
+    """The SARIF log as a plain dict (one run, one result per finding)."""
+    results = [
+        {
+            "ruleId": diag.code,
+            "level": "error",
+            "message": {"text": diag.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": diag.path.replace(os.sep, "/"),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": max(diag.line, 1)},
+                    },
+                    "logicalLocations": [
+                        {"fullyQualifiedName": diag.symbol, "kind": "function"}
+                    ],
+                }
+            ],
+        }
+        for diag in diagnostics
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "rules": _rule_catalog(),
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+
+
+def to_sarif(diagnostics: list[Diagnostic]) -> str:
+    """Serialized SARIF log."""
+    return json.dumps(to_sarif_dict(diagnostics), indent=2) + "\n"
+
+
+def to_json_dict(diagnostics: list[Diagnostic]) -> dict[str, Any]:
+    """Flat JSON report: ``{"findings": [...], "count": N}``."""
+    return {
+        "tool": TOOL_NAME,
+        "count": len(diagnostics),
+        "findings": [
+            {
+                "path": diag.path.replace(os.sep, "/"),
+                "line": diag.line,
+                "rule": diag.code,
+                "symbol": diag.symbol,
+                "message": diag.message,
+            }
+            for diag in diagnostics
+        ],
+    }
+
+
+def to_json(diagnostics: list[Diagnostic]) -> str:
+    """Serialized flat JSON report."""
+    return json.dumps(to_json_dict(diagnostics), indent=2) + "\n"
