@@ -19,7 +19,10 @@ Contracts wired in today:
   (:mod:`repro.certify.splitting`);
 * **warm-start basis validity** — a
   :class:`~repro.milp.session.WarmStartSession` basis re-entering the
-  prepared LP indexes real columns, one per row, without duplicates.
+  prepared LP indexes real columns, one per row, without duplicates;
+* **batched row agreement** — a batched ``propagate_many`` result
+  agrees with the row-sliced scalar propagation on a sampled query row
+  (:mod:`repro.bounds.propagator`).
 
 Violations raise :class:`SanitizerError` (an ``AssertionError``
 subclass: a sanitizer failure is a bug in this codebase, never a user
@@ -154,6 +157,45 @@ def check_tiling(
             "tiling",
             f"{what}: terminal boxes cover {total:.9f} of the root volume "
             f"(expected 1.0 over {count} boxes)",
+        )
+
+
+def check_batch_row(
+    batched: np.ndarray,
+    scalar: np.ndarray,
+    what: str,
+    tol: float = 1e-9,
+) -> None:
+    """A batched propagation row must agree with its scalar twin.
+
+    The batched kernels promise per-row results matching the per-query
+    scalar path (the :mod:`repro.bounds.batched` bit-identity contract);
+    a silent divergence would let a vectorization bug certify with
+    bounds nobody ever cross-checked.  Comparison is tolerance-based so
+    near-miss third-party engines fail loudly with the offending
+    indices rather than on the last ulp.
+    """
+    left = np.asarray(batched, dtype=float)
+    right = np.asarray(scalar, dtype=float)
+    if left.shape != right.shape:
+        _fail(
+            "batch-row",
+            f"{what}: batched row shape {left.shape} != scalar {right.shape}",
+        )
+    # Exact matches (including ±inf and NaN-vs-NaN) pass outright; the
+    # tolerance only applies to genuinely differing finite entries.
+    same = (left == right) | (np.isnan(left) & np.isnan(right))
+    if bool(np.all(same)):
+        return
+    diff = np.where(same, 0.0, np.abs(left - right))
+    scale = np.maximum(1.0, np.maximum(np.abs(left), np.abs(right)))
+    bad = diff > tol * np.where(np.isfinite(scale), scale, 1.0)
+    if bool(np.any(bad)):
+        worst = np.flatnonzero(bad.reshape(-1))[:5]
+        _fail(
+            "batch-row",
+            f"{what}: batched row diverges from scalar propagation at "
+            f"flat indices {worst.tolist()}",
         )
 
 

@@ -26,8 +26,21 @@ functions remain as the IBP engine's implementation.
 from __future__ import annotations
 
 from repro.bounds.interval import Box
-from repro.bounds.ibp import propagate_box
-from repro.bounds.twin_ibp import TwinBounds, propagate_twin_box, relu_distance_interval
+from repro.bounds.batched import (
+    BatchedBox,
+    BatchedLayerBounds,
+    as_batched_box,
+    as_batched_delta,
+)
+from repro.bounds.ibp import propagate_box, propagate_box_batch
+from repro.bounds.twin_ibp import (
+    BatchedTwinBounds,
+    TwinBounds,
+    propagate_twin_box,
+    propagate_twin_box_batch,
+    relu_distance_interval,
+    relu_distance_interval_batch,
+)
 from repro.bounds.propagator import (
     BoundPropagator,
     IBPPropagator,
@@ -35,6 +48,7 @@ from repro.bounds.propagator import (
     TwinIBPPropagator,
     available_propagators,
     get_propagator,
+    propagate_many,
     register_propagator,
 )
 from repro.bounds.symbolic import SymbolicPropagator
@@ -42,10 +56,18 @@ from repro.bounds.ranges import LayerRanges, RangeTable
 
 __all__ = [
     "Box",
+    "BatchedBox",
+    "BatchedLayerBounds",
+    "as_batched_box",
+    "as_batched_delta",
     "propagate_box",
+    "propagate_box_batch",
     "propagate_twin_box",
+    "propagate_twin_box_batch",
     "relu_distance_interval",
+    "relu_distance_interval_batch",
     "TwinBounds",
+    "BatchedTwinBounds",
     "LayerRanges",
     "RangeTable",
     "BoundPropagator",
@@ -55,5 +77,6 @@ __all__ = [
     "SymbolicPropagator",
     "available_propagators",
     "get_propagator",
+    "propagate_many",
     "register_propagator",
 ]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.bounds.batched import BatchedBox
 from repro.bounds.interval import Box
 from repro.nn.affine import AffineLayer
 
@@ -32,3 +33,34 @@ def propagate_box(
     if collect:
         return box, pre_acts
     return box
+
+
+def propagate_box_batch(
+    layers: list[AffineLayer], input_boxes: BatchedBox, collect: bool = False
+) -> "BatchedBox | tuple[BatchedBox, list[BatchedBox]]":
+    """Propagate a ``(Q, n)`` stack of input boxes in one vectorized pass.
+
+    The batched twin of :func:`propagate_box`: row ``q`` of every
+    returned stack is bit-identical to propagating ``input_boxes.row(q)``
+    alone (see the :mod:`repro.bounds.batched` bit-identity contract).
+
+    Args:
+        layers: Normal-form network (see :mod:`repro.nn.affine`).
+        input_boxes: Stacked boxes over the flattened input.
+        collect: When True, also return per-layer pre-activation stacks.
+
+    Returns:
+        The output stack, or ``(output_stack, pre_activation_stacks)``
+        when ``collect`` is set.
+    """
+    boxes = input_boxes
+    pre_acts: list[BatchedBox] = []
+    for layer in layers:
+        boxes = boxes.affine(layer.weight, layer.bias)
+        if collect:
+            pre_acts.append(boxes)
+        if layer.relu:
+            boxes = boxes.relu()
+    if collect:
+        return boxes, pre_acts
+    return boxes

@@ -25,17 +25,30 @@ propagator can only shrink downstream relaxations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Protocol, TypeAlias, runtime_checkable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.bounds.ranges import RangeTable
 
 import numpy as np
 
+from repro import _sanitize
+from repro.bounds.batched import (
+    BatchedBox,
+    BatchedLayerBounds,
+    DeltaSpec,
+    as_batched_box,
+    as_batched_delta,
+    delta_row,
+)
 from repro.bounds.interval import Box
-from repro.bounds.ibp import propagate_box
-from repro.bounds.twin_ibp import propagate_twin_box
+from repro.bounds.ibp import propagate_box, propagate_box_batch
+from repro.bounds.twin_ibp import propagate_twin_box, propagate_twin_box_batch
 from repro.nn.affine import AffineLayer
+
+#: Accepted ways of naming a stack of query boxes: a ready-made
+#: ``BatchedBox``, one box (a batch of one), or a list of boxes.
+BoxStack: TypeAlias = "BatchedBox | Box | list[Box]"
 
 
 def _copy_box(box: Box) -> Box:
@@ -197,6 +210,14 @@ class LayerBounds:
 class BoundPropagator(Protocol):
     """Protocol of a bound-propagation engine.
 
+    Engines may additionally expose a native ``propagate_many(layers,
+    boxes, deltas=None) -> BatchedLayerBounds`` answering a whole query
+    stack in one vectorized pass (all built-ins do).  The method is
+    deliberately *not* part of the required protocol: the module-level
+    :func:`propagate_many` dispatcher falls back to a loop over
+    ``propagate`` plus :meth:`BatchedLayerBounds.stack`, so third-party
+    propagators keep working unchanged.
+
     Attributes:
         name: Registry key (also recorded on produced bounds).
     """
@@ -266,6 +287,38 @@ class IBPPropagator:
             input_box=input_box, y=y_boxes, x=x_boxes, method=self.name
         )
 
+    def propagate_many(
+        self,
+        layers: list[AffineLayer],
+        input_boxes: BoxStack,
+        deltas: DeltaSpec = None,
+    ) -> BatchedLayerBounds:
+        """Bound all ``Q`` stacked queries in one vectorized IBP pass.
+
+        Row ``q`` of the result is bit-identical to
+        ``self.propagate(layers, input_boxes.row(q), <delta row q>)``.
+        """
+        stack = as_batched_box(input_boxes)
+        delta_stack = as_batched_delta(deltas, stack.num_queries, stack.dim)
+        if delta_stack is not None:
+            twin = propagate_twin_box_batch(layers, stack, delta_stack)
+            return BatchedLayerBounds(
+                input_box=twin.x[0],
+                y=twin.y,
+                x=twin.x[1:],
+                delta_box=twin.dx[0],
+                dy=twin.dy,
+                dx=twin.dx[1:],
+                method=self.name,
+            )
+        _, y_stacks = propagate_box_batch(layers, stack, collect=True)
+        x_stacks = [
+            y.relu() if layer.relu else y for layer, y in zip(layers, y_stacks)
+        ]
+        return BatchedLayerBounds(
+            input_box=stack, y=y_stacks, x=x_stacks, method=self.name
+        )
+
 
 class TwinIBPPropagator(IBPPropagator):
     """Twin-network IBP: like ``"ibp"`` but a perturbation is mandatory."""
@@ -281,6 +334,18 @@ class TwinIBPPropagator(IBPPropagator):
         if delta is None:
             raise ValueError("twin-ibp requires a perturbation (delta)")
         bounds = super().propagate(layers, input_box, delta)
+        bounds.method = self.name
+        return bounds
+
+    def propagate_many(
+        self,
+        layers: list[AffineLayer],
+        input_boxes: BoxStack,
+        deltas: DeltaSpec = None,
+    ) -> BatchedLayerBounds:
+        if deltas is None:
+            raise ValueError("twin-ibp requires a perturbation (delta)")
+        bounds = super().propagate_many(layers, input_boxes, deltas)
         bounds.method = self.name
         return bounds
 
@@ -310,6 +375,101 @@ def get_propagator(spec: "str | BoundPropagator") -> BoundPropagator:
 def available_propagators() -> tuple[str, ...]:
     """Sorted names of all registered engines."""
     return tuple(sorted(_REGISTRY))
+
+
+def _check_batch_agreement(
+    engine: BoundPropagator,
+    layers: list[AffineLayer],
+    stack: BatchedBox,
+    deltas: DeltaSpec,
+    result: BatchedLayerBounds,
+) -> None:
+    """Sanitizer: a sampled batched row must match its scalar propagation.
+
+    Re-runs the scalar ``propagate`` for one deterministically sampled
+    query and compares every per-layer array — the runtime analogue of
+    the bit-identity property tests, but exercised on *real* workloads
+    whenever ``REPRO_SANITIZE=1``.
+    """
+    queries = result.num_queries
+    q = int(np.random.default_rng(queries * 1000003 + stack.dim).integers(queries))
+    scalar = engine.propagate(layers, stack.row(q), delta_row(deltas, q, stack.dim))
+    row = result.row(q)
+    what = f"propagate_many[{engine.name}] query {q}/{queries}"
+    if row.num_layers != scalar.num_layers:
+        raise _sanitize.SanitizerError(
+            f"sanitizer[batch-row]: {what}: batched result covers "
+            f"{row.num_layers} layers, scalar propagation {scalar.num_layers}"
+        )
+    if row.has_distance != scalar.has_distance:
+        raise _sanitize.SanitizerError(
+            f"sanitizer[batch-row]: {what}: batched and scalar results "
+            f"disagree on distance-bound presence"
+        )
+    for t in range(row.num_layers):
+        _sanitize.check_batch_row(row.y[t].lo, scalar.y[t].lo, f"{what} y[{t}].lo")
+        _sanitize.check_batch_row(row.y[t].hi, scalar.y[t].hi, f"{what} y[{t}].hi")
+        _sanitize.check_batch_row(row.x[t].lo, scalar.x[t].lo, f"{what} x[{t}].lo")
+        _sanitize.check_batch_row(row.x[t].hi, scalar.x[t].hi, f"{what} x[{t}].hi")
+    if row.has_distance:
+        assert row.dy is not None and row.dx is not None
+        assert scalar.dy is not None and scalar.dx is not None
+        for t in range(row.num_layers):
+            _sanitize.check_batch_row(
+                row.dy[t].lo, scalar.dy[t].lo, f"{what} dy[{t}].lo"
+            )
+            _sanitize.check_batch_row(
+                row.dy[t].hi, scalar.dy[t].hi, f"{what} dy[{t}].hi"
+            )
+            _sanitize.check_batch_row(
+                row.dx[t].lo, scalar.dx[t].lo, f"{what} dx[{t}].lo"
+            )
+            _sanitize.check_batch_row(
+                row.dx[t].hi, scalar.dx[t].hi, f"{what} dx[{t}].hi"
+            )
+
+
+def propagate_many(
+    propagator: "str | BoundPropagator",
+    layers: list[AffineLayer],
+    boxes: BoxStack,
+    deltas: DeltaSpec = None,
+) -> BatchedLayerBounds:
+    """Bound a whole stack of queries through one engine.
+
+    The batched entry point of the bounds package: engines exposing a
+    native ``propagate_many`` (all built-ins) answer the stack in one
+    vectorized pass; third-party propagators implementing only the
+    :class:`BoundPropagator` protocol are looped per query and stacked,
+    so every registered engine works here unchanged.
+
+    Args:
+        propagator: Registry name or engine instance.
+        layers: Normal-form network shared by all queries.
+        boxes: The ``Q`` input boxes — a :class:`BatchedBox`, a single
+            :class:`Box`, or a list of boxes.
+        deltas: Optional per-query perturbations (shared radius, array of
+            radii, shared box, list of boxes, or a ``(Q, n)`` stack).
+
+    Returns:
+        Sound :class:`BatchedLayerBounds`; row ``q`` equals the scalar
+        ``propagate`` result of query ``q`` (bit-identical for the
+        built-in engines, sanitizer-checked for native third-party
+        batched implementations).
+    """
+    engine = get_propagator(propagator)
+    stack = as_batched_box(boxes)
+    native = getattr(engine, "propagate_many", None)
+    if native is None or not callable(native):
+        rows = [
+            engine.propagate(layers, stack.row(q), delta_row(deltas, q, stack.dim))
+            for q in range(stack.num_queries)
+        ]
+        return BatchedLayerBounds.stack(rows)
+    result: BatchedLayerBounds = native(layers, stack, deltas)
+    if _sanitize.ENABLED:
+        _check_batch_agreement(engine, layers, stack, deltas, result)
+    return result
 
 
 register_propagator(IBPPropagator())

@@ -36,14 +36,25 @@ from __future__ import annotations
 import numpy as np
 
 from repro import _sanitize
+from repro.bounds.batched import (
+    BatchedBox,
+    BatchedLayerBounds,
+    DeltaSpec,
+    as_batched_box,
+    as_batched_delta,
+)
 from repro.bounds.interval import Box
 from repro.bounds.propagator import (
+    BoxStack,
     IBPPropagator,
     LayerBounds,
     _as_delta_box,
     register_propagator,
 )
-from repro.bounds.twin_ibp import relu_distance_interval
+from repro.bounds.twin_ibp import (
+    relu_distance_interval,
+    relu_distance_interval_batch,
+)
 from repro.nn.affine import AffineLayer
 
 #: Linear relaxation of one activation layer: element-wise coefficient
@@ -58,14 +69,19 @@ def _identity_relaxation(dim: int) -> Relaxation:
     return one, zero, one.copy(), zero.copy()
 
 
-def _relu_relaxation(y_box: Box) -> Relaxation:
-    """CROWN relaxation of ``relu(y)`` over ``y ∈ [lo, hi]``.
+def _identity_relaxation_batch(queries: int, dim: int) -> Relaxation:
+    one = np.ones((queries, dim))
+    zero = np.zeros((queries, dim))
+    return one, zero, one.copy(), zero.copy()
 
-    Stable-active → identity, stable-inactive → zero; unstable neurons
-    get the chord as upper bound and the adaptive identity/zero slope as
-    lower bound (minimizing the relaxation area).
+
+def _relu_relaxation_arrays(lo: np.ndarray, hi: np.ndarray) -> Relaxation:
+    """Element-wise core of :func:`_relu_relaxation`.
+
+    Shape-agnostic (every operation is element-wise), so it serves both
+    the scalar ``(n,)`` path and the batched ``(Q, n)`` stacks with
+    bit-identical per-row results.
     """
-    lo, hi = y_box.lo, y_box.hi
     active = lo >= 0.0
     inactive = hi <= 0.0
     denom = np.where(hi - lo > 0.0, hi - lo, 1.0)
@@ -78,19 +94,27 @@ def _relu_relaxation(y_box: Box) -> Relaxation:
     return d_lo, b_lo, d_hi, b_hi
 
 
-def _distance_relaxation(y_box: Box, dy_box: Box) -> Relaxation:
-    """Linear envelope of ``Δx = relu(y + Δy) − relu(y)`` in ``Δy``.
+def _relu_relaxation(y_box: Box) -> Relaxation:
+    """CROWN relaxation of ``relu(y)`` over ``y ∈ [lo, hi]``.
 
-    Uses the Fig. 3 facts ``min(0, Δy) ≤ Δx ≤ max(0, Δy)``: the chord of
-    ``max(0, ·)`` over ``Δy ∈ [l, u]`` bounds above (convex), the chord
-    of ``min(0, ·)`` bounds below (concave).  Neurons whose value boxes
-    prove both copies stably active substitute ``Δx = Δy`` exactly;
-    both-inactive neurons substitute ``Δx = 0``.
+    Stable-active → identity, stable-inactive → zero; unstable neurons
+    get the chord as upper bound and the adaptive identity/zero slope as
+    lower bound (minimizing the relaxation area).
     """
-    lo, hi = dy_box.lo, dy_box.hi
-    yhat = Box(y_box.lo + lo, y_box.hi + hi)
-    both_active = (y_box.lo >= 0.0) & (yhat.lo >= 0.0)
-    both_inactive = (y_box.hi <= 0.0) & (yhat.hi <= 0.0)
+    return _relu_relaxation_arrays(y_box.lo, y_box.hi)
+
+
+def _distance_relaxation_arrays(
+    y_lo: np.ndarray,
+    y_hi: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+) -> Relaxation:
+    """Element-wise core of :func:`_distance_relaxation` (shape-agnostic)."""
+    yhat_lo = y_lo + lo
+    yhat_hi = y_hi + hi
+    both_active = (y_lo >= 0.0) & (yhat_lo >= 0.0)
+    both_inactive = (y_hi <= 0.0) & (yhat_hi <= 0.0)
 
     denom = np.where(hi - lo > 0.0, hi - lo, 1.0)
     up_slope = hi / denom        # chord of max(0, ·): (l, 0) -> (u, u)
@@ -105,6 +129,20 @@ def _distance_relaxation(y_box: Box, dy_box: Box) -> Relaxation:
     b_lo = np.where(both_active | both_inactive, 0.0, b_lo)
     b_hi = np.where(both_active | both_inactive, 0.0, b_hi)
     return d_lo, b_lo, d_hi, b_hi
+
+
+def _distance_relaxation(y_box: Box, dy_box: Box) -> Relaxation:
+    """Linear envelope of ``Δx = relu(y + Δy) − relu(y)`` in ``Δy``.
+
+    Uses the Fig. 3 facts ``min(0, Δy) ≤ Δx ≤ max(0, Δy)``: the chord of
+    ``max(0, ·)`` over ``Δy ∈ [l, u]`` bounds above (convex), the chord
+    of ``min(0, ·)`` bounds below (concave).  Neurons whose value boxes
+    prove both copies stably active substitute ``Δx = Δy`` exactly;
+    both-inactive neurons substitute ``Δx = 0``.
+    """
+    return _distance_relaxation_arrays(
+        y_box.lo, y_box.hi, dy_box.lo, dy_box.hi
+    )
 
 
 def _backsubstitute(
@@ -153,6 +191,76 @@ def _backsubstitute(
     lo = pos @ box.lo + neg @ box.hi + c_lo
     pos, neg = np.maximum(a_hi, 0.0), np.minimum(a_hi, 0.0)
     hi = pos @ box.hi + neg @ box.lo + c_hi
+    return lo, hi
+
+
+def _backsubstitute_batch(
+    layers: list[AffineLayer],
+    t: int,
+    boxes: BatchedBox,
+    relaxations: list[Relaxation],
+    with_bias: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Backsubstitution for all ``Q`` queries in one pass.
+
+    The batched twin of :func:`_backsubstitute`: the coefficient
+    matrices carry a leading query axis (``(Q, m_t, m_k)``), relaxation
+    entries are ``(Q, m_k)`` stacks, and every matmul is arranged in the
+    *stacked* form (batch through numpy's leading axes, never folded
+    into a wider 2-D product) so each per-query slice runs the exact
+    scalar computation — row ``q`` of the result is bit-identical to
+    backsubstituting query ``q`` alone.
+
+    The coefficients start 2-D (shared across the batch: layer ``t``'s
+    weight) and pick up the query axis at the first per-query relaxation
+    by broadcasting, so a depth-1 backsubstitution never materializes
+    ``Q`` weight copies.
+    """
+    a_lo: np.ndarray = layers[t].weight
+    a_hi: np.ndarray = layers[t].weight
+    c_lo: np.ndarray
+    c_hi: np.ndarray
+    if with_bias:
+        c_lo = layers[t].bias
+        c_hi = layers[t].bias
+    else:
+        c_lo = np.zeros(layers[t].out_dim)
+        c_hi = np.zeros(layers[t].out_dim)
+
+    for k in range(t - 1, -1, -1):
+        d_lo, b_lo, d_hi, b_hi = relaxations[k]
+        pos, neg = np.maximum(a_lo, 0.0), np.minimum(a_lo, 0.0)
+        c_lo = (
+            c_lo
+            + (pos @ b_lo[..., None])[..., 0]
+            + (neg @ b_hi[..., None])[..., 0]
+        )
+        a_lo = pos * d_lo[:, None, :] + neg * d_hi[:, None, :]
+        pos, neg = np.maximum(a_hi, 0.0), np.minimum(a_hi, 0.0)
+        c_hi = (
+            c_hi
+            + (pos @ b_hi[..., None])[..., 0]
+            + (neg @ b_lo[..., None])[..., 0]
+        )
+        a_hi = pos * d_hi[:, None, :] + neg * d_lo[:, None, :]
+        if with_bias:
+            c_lo = c_lo + a_lo @ layers[k].bias
+            c_hi = c_hi + a_hi @ layers[k].bias
+        a_lo = a_lo @ layers[k].weight
+        a_hi = a_hi @ layers[k].weight
+
+    pos, neg = np.maximum(a_lo, 0.0), np.minimum(a_lo, 0.0)
+    lo = (
+        (pos @ boxes.lo[..., None])[..., 0]
+        + (neg @ boxes.hi[..., None])[..., 0]
+        + c_lo
+    )
+    pos, neg = np.maximum(a_hi, 0.0), np.minimum(a_hi, 0.0)
+    hi = (
+        (pos @ boxes.hi[..., None])[..., 0]
+        + (neg @ boxes.lo[..., None])[..., 0]
+        + c_hi
+    )
     return lo, hi
 
 
@@ -237,6 +345,101 @@ class SymbolicPropagator:
             delta_box=delta_box,
             dy=dy_boxes,
             dx=dx_boxes,
+            method=self.name,
+        )
+
+    def propagate_many(
+        self,
+        layers: list[AffineLayer],
+        input_boxes: BoxStack,
+        deltas: DeltaSpec = None,
+    ) -> BatchedLayerBounds:
+        """One backsubstitution pass serving all ``Q`` stacked queries.
+
+        Identical structure to :meth:`propagate` — batched IBP first,
+        per-layer batched backsubstitution intersected tightest-wins
+        with the IBP stacks — with every kernel in the stacked-matmul
+        form, so row ``q`` of the result is bit-identical to the scalar
+        ``propagate`` of query ``q``.
+        """
+        stack = as_batched_box(input_boxes)
+        queries = stack.num_queries
+        delta_stack = as_batched_delta(deltas, queries, stack.dim)
+        ibp = self._ibp.propagate_many(layers, stack, delta_stack)
+
+        y_stacks: list[BatchedBox] = []
+        x_stacks: list[BatchedBox] = []
+        value_relax: list[Relaxation] = []
+        for t, layer in enumerate(layers):
+            lo, hi = _backsubstitute_batch(
+                layers, t, stack, value_relax, with_bias=True
+            )
+            y_stack = BatchedBox(lo, hi).intersect(ibp.y[t])
+            if _sanitize.ENABLED:
+                _sanitize.check_containment(
+                    y_stack.lo, y_stack.hi, ibp.y[t].lo, ibp.y[t].hi,
+                    f"symbolic-batch y[{t}] vs ibp",
+                )
+            y_stacks.append(y_stack)
+            if layer.relu:
+                x_stacks.append(y_stack.relu())
+                value_relax.append(
+                    _relu_relaxation_arrays(y_stack.lo, y_stack.hi)
+                )
+            else:
+                x_stacks.append(BatchedBox(y_stack.lo, y_stack.hi))
+                value_relax.append(
+                    _identity_relaxation_batch(queries, layer.out_dim)
+                )
+
+        if delta_stack is None:
+            return BatchedLayerBounds(
+                input_box=stack, y=y_stacks, x=x_stacks, method=self.name
+            )
+
+        assert ibp.dy is not None and ibp.dx is not None
+        dy_stacks: list[BatchedBox] = []
+        dx_stacks: list[BatchedBox] = []
+        dist_relax: list[Relaxation] = []
+        for t, layer in enumerate(layers):
+            lo, hi = _backsubstitute_batch(
+                layers, t, delta_stack, dist_relax, with_bias=False
+            )
+            dy_stack = BatchedBox(lo, hi).intersect(ibp.dy[t])
+            if _sanitize.ENABLED:
+                _sanitize.check_containment(
+                    dy_stack.lo, dy_stack.hi, ibp.dy[t].lo, ibp.dy[t].hi,
+                    f"symbolic-batch dy[{t}] vs ibp",
+                )
+            dy_stacks.append(dy_stack)
+            if layer.relu:
+                dx_stack = relu_distance_interval_batch(y_stacks[t], dy_stack)
+                dist_relax.append(
+                    _distance_relaxation_arrays(
+                        y_stacks[t].lo, y_stacks[t].hi,
+                        dy_stack.lo, dy_stack.hi,
+                    )
+                )
+            else:
+                dx_stack = BatchedBox(dy_stack.lo, dy_stack.hi)
+                dist_relax.append(
+                    _identity_relaxation_batch(queries, layer.out_dim)
+                )
+            dx_stack = dx_stack.intersect(ibp.dx[t])
+            if _sanitize.ENABLED:
+                _sanitize.check_containment(
+                    dx_stack.lo, dx_stack.hi, ibp.dx[t].lo, ibp.dx[t].hi,
+                    f"symbolic-batch dx[{t}] vs ibp",
+                )
+            dx_stacks.append(dx_stack)
+
+        return BatchedLayerBounds(
+            input_box=stack,
+            y=y_stacks,
+            x=x_stacks,
+            delta_box=delta_stack,
+            dy=dy_stacks,
+            dx=dx_stacks,
             method=self.name,
         )
 

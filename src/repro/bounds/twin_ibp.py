@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.bounds.batched import BatchedBox
 from repro.bounds.interval import Box
 from repro.nn.affine import AffineLayer
 
@@ -81,6 +82,56 @@ def relu_distance_interval(y_box: Box, dy_box: Box) -> Box:
     return Box(lo, hi)
 
 
+@dataclass
+class BatchedTwinBounds:
+    """Per-layer ``(Q, n)`` stacks of a batched twin propagation.
+
+    The stacked twin of :class:`TwinBounds`; indexing conventions match
+    (``x[0]``/``dx[0]`` are the input/perturbation stacks).
+    """
+
+    x: list[BatchedBox] = field(default_factory=list)
+    dx: list[BatchedBox] = field(default_factory=list)
+    y: list[BatchedBox] = field(default_factory=list)
+    dy: list[BatchedBox] = field(default_factory=list)
+
+    @property
+    def output_distance(self) -> BatchedBox:
+        """Distance stack of the network output (Δx(n))."""
+        return self.dx[-1]
+
+
+def relu_distance_interval_batch(
+    y_boxes: BatchedBox, dy_boxes: BatchedBox
+) -> BatchedBox:
+    """Row-wise :func:`relu_distance_interval` over ``(Q, n)`` stacks.
+
+    The scalar body is purely element-wise, so running it on stacked
+    arrays yields rows bit-identical to the per-query calls.
+    """
+    yhat_boxes = BatchedBox(
+        y_boxes.lo + dy_boxes.lo, y_boxes.hi + dy_boxes.hi
+    )
+
+    both_active = (y_boxes.lo >= 0.0) & (yhat_boxes.lo >= 0.0)
+    both_inactive = (y_boxes.hi <= 0.0) & (yhat_boxes.hi <= 0.0)
+
+    lo1 = np.minimum(0.0, dy_boxes.lo)
+    hi1 = np.maximum(0.0, dy_boxes.hi)
+
+    relu_y = y_boxes.relu()
+    relu_yhat = yhat_boxes.relu()
+    lo2 = relu_yhat.lo - relu_y.hi
+    hi2 = relu_yhat.hi - relu_y.lo
+
+    lo = np.maximum(lo1, lo2)
+    hi = np.minimum(hi1, hi2)
+
+    lo = np.where(both_active, dy_boxes.lo, np.where(both_inactive, 0.0, lo))
+    hi = np.where(both_active, dy_boxes.hi, np.where(both_inactive, 0.0, hi))
+    return BatchedBox(lo, hi)
+
+
 def propagate_twin_box(
     layers: list[AffineLayer], input_box: Box, delta: float | Box
 ) -> TwinBounds:
@@ -116,4 +167,39 @@ def propagate_twin_box(
             x_box, d_box = y_box, dy_box
         bounds.x.append(x_box)
         bounds.dx.append(d_box)
+    return bounds
+
+
+def propagate_twin_box_batch(
+    layers: list[AffineLayer], input_boxes: BatchedBox, deltas: BatchedBox
+) -> BatchedTwinBounds:
+    """Propagate value and distance stacks through an affine chain at once.
+
+    The batched twin of :func:`propagate_twin_box`; row ``q`` of every
+    stack is bit-identical to the scalar propagation of query ``q``.
+    Unlike the scalar entry point, the perturbation must already be a
+    ``(Q, n)`` stack (use :func:`repro.bounds.batched.as_batched_delta`).
+    """
+    if deltas.num_queries != input_boxes.num_queries:
+        raise ValueError(
+            f"perturbation stack has {deltas.num_queries} rows for "
+            f"{input_boxes.num_queries} queries"
+        )
+    if deltas.dim != input_boxes.dim:
+        raise ValueError("perturbation box dimension mismatch")
+
+    bounds = BatchedTwinBounds(x=[input_boxes], dx=[deltas])
+    x_boxes, d_boxes = input_boxes, deltas
+    for layer in layers:
+        y_boxes = x_boxes.affine(layer.weight, layer.bias)
+        dy_boxes = d_boxes.affine(layer.weight, 0.0)
+        bounds.y.append(y_boxes)
+        bounds.dy.append(dy_boxes)
+        if layer.relu:
+            x_boxes = y_boxes.relu()
+            d_boxes = relu_distance_interval_batch(y_boxes, dy_boxes)
+        else:
+            x_boxes, d_boxes = y_boxes, dy_boxes
+        bounds.x.append(x_boxes)
+        bounds.dx.append(d_boxes)
     return bounds

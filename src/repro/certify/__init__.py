@@ -13,7 +13,9 @@
 * :mod:`repro.certify.underapprox` — dataset-wise PGD under-approximation
   ``ε̲`` used to sandwich the true global robustness for large networks.
 * :mod:`repro.certify.presolve` — the bounds-only presolve tier:
-  ε-targeted queries answered (proved or refuted) without any solve.
+  ε-targeted queries answered (proved or refuted) without any solve;
+  the batched ``presolve_many`` variants decide whole query arrays in
+  one vectorized pass with bit-identical per-query verdicts.
 * :mod:`repro.certify.splitting` — the input-splitting
   branch-and-bound tier: ε-targeted queries decided by recursively
   bisecting the input domain, with binary-sparse MILPs only at the
@@ -24,7 +26,13 @@ from repro.certify.decomposition import SubNetwork, decompose
 from repro.certify.exact import certify_exact_global
 from repro.certify.global_cert import CertifierConfig, GlobalRobustnessCertifier
 from repro.certify.local import certify_local_exact, certify_local_lpr, certify_local_nd
-from repro.certify.presolve import presolve_global, presolve_local
+from repro.certify.presolve import (
+    presolve_global,
+    presolve_global_many,
+    presolve_local,
+    presolve_local_many,
+    presolve_many,
+)
 from repro.certify.refinement import select_refinement
 from repro.certify.reluplex import ReluplexStyleSolver
 from repro.certify.results import GlobalCertificate, LocalCertificate
@@ -45,6 +53,9 @@ __all__ = [
     "certify_local_lpr",
     "presolve_local",
     "presolve_global",
+    "presolve_local_many",
+    "presolve_global_many",
+    "presolve_many",
     "SplitConfig",
     "certify_local_split",
     "certify_global_split",

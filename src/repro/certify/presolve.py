@@ -19,6 +19,18 @@ The batch engine (:mod:`repro.runtime.batch`) runs this tier first for
 every query carrying an ``epsilon`` target, sharing one
 :class:`~repro.bounds.propagator.LayerBounds` per (network, input-box)
 pair across the batch.
+
+**Batched presolve.**  :func:`presolve_local_many`,
+:func:`presolve_global_many` and the :func:`presolve_many` dispatcher
+answer a whole array of ε-queries in one pass: one batched bound
+propagation (:func:`~repro.bounds.propagator.propagate_many`) proves,
+and one corner-vectorized gradient attack refutes, every query at once.
+Their per-query verdicts and certificate arrays are **bit-identical**
+to calling :func:`presolve_local` / :func:`presolve_global` in a loop —
+the batched kernels keep every matmul in the scalar 2-D slice shape
+(the :mod:`repro.bounds.batched` contract) and the scalar functions'
+RNG discipline (a fresh ``default_rng(seed)`` per query) makes the
+random attack starts shareable across the batch.
 """
 
 from __future__ import annotations
@@ -27,11 +39,17 @@ import time
 
 import numpy as np
 
+from repro.bounds.batched import BatchedBox, BatchedLayerBounds, as_batched_box
 from repro.bounds.interval import Box
-from repro.bounds.propagator import LayerBounds, get_propagator
+from repro.bounds.propagator import LayerBounds, get_propagator, propagate_many
 from repro.certify.results import GlobalCertificate, LocalCertificate
 from repro.nn.affine import AffineLayer, affine_chain_forward
 from repro.nn.network import Network, as_affine_chain
+
+#: Soft cap on the corner-stack element count per attack chunk — bounds
+#: the ``(rows, outputs, dim)`` scratch arrays without changing any
+#: per-row arithmetic (chunking is over whole query rows).
+_ATTACK_CHUNK_ELEMS = 4_000_000
 
 
 def perturbation_ball(
@@ -71,6 +89,92 @@ def _output_gradient(layers: list[AffineLayer], x: np.ndarray, j: int) -> np.nda
     return grad
 
 
+def _forward_many(layers: list[AffineLayer], x: np.ndarray) -> np.ndarray:
+    """Forward pass over a stack of inputs, shape ``(..., n) → (..., m)``.
+
+    Each row's result is **bit-identical** to the 1-D
+    :func:`~repro.nn.affine.affine_chain_forward` on that row: the
+    matmul keeps the scalar 2-D slice shape (``(..., 1, n) @ (n, m)``)
+    instead of collapsing the stack into one gemm, so BLAS cannot
+    re-associate the reductions (the :mod:`repro.bounds.batched`
+    bit-identity contract).
+    """
+    cur = np.asarray(x, dtype=float)
+    for layer in layers:
+        y = (cur[..., None, :] @ layer.weight.T)[..., 0, :] + layer.bias
+        cur = np.maximum(y, 0.0) if layer.relu else y
+    return cur
+
+
+def _output_jacobian_many(layers: list[AffineLayer], x: np.ndarray) -> np.ndarray:
+    """All output gradients at a stack of inputs, ``(..., n) → (..., m, n)``.
+
+    Row ``[..., j, :]`` is bit-identical to
+    ``_output_gradient(layers, row, j)`` — the backward substitution
+    runs per stacked row (``W.T @ grad[..., None]``) rather than as one
+    fused gemm, for the same reason as :func:`_forward_many`.
+    """
+    cur = np.asarray(x, dtype=float)
+    pre_acts = []
+    for layer in layers:
+        y = (cur[..., None, :] @ layer.weight.T)[..., 0, :] + layer.bias
+        pre_acts.append(y)
+        cur = np.maximum(y, 0.0) if layer.relu else y
+    out_dim = layers[-1].out_dim
+    grad = np.broadcast_to(
+        np.eye(out_dim), cur.shape[:-1] + (out_dim, out_dim)
+    ).copy()
+    for layer, y in zip(reversed(layers), reversed(pre_acts)):
+        if layer.relu:
+            grad = grad * (y > 0.0)[..., None, :]
+        grad = (layer.weight.T @ grad[..., None])[..., 0]
+    return grad
+
+
+def _corner_witness(
+    layers: list[AffineLayer],
+    jac: np.ndarray,
+    ball_lo: np.ndarray,
+    ball_hi: np.ndarray,
+    base: np.ndarray,
+) -> np.ndarray:
+    """Corner-attack variations from precomputed gradients, ``(..., m)``.
+
+    ``jac`` has shape ``(..., m, n)`` and ``ball_lo`` / ``ball_hi`` /
+    ``base`` broadcast against its leading dims, so callers can share
+    one Jacobian across many balls (the global presolve reuses each
+    start's gradients for every query's δ-ball).  Per row and output
+    the result equals the scalar two-corner scan:
+    ``max(|F(corner⁺)_j − base_j|, |F(corner⁻)_j − base_j|)``.
+    """
+    hi = np.asarray(ball_hi, dtype=float)[..., None, :]
+    lo = np.asarray(ball_lo, dtype=float)[..., None, :]
+    corner_up = np.where(jac >= 0.0, hi, lo)
+    corner_dn = np.where(-jac >= 0.0, hi, lo)
+    j_idx = np.arange(layers[-1].out_dim)
+    val_up = _forward_many(layers, corner_up)[..., j_idx, j_idx]
+    val_dn = _forward_many(layers, corner_dn)[..., j_idx, j_idx]
+    base = np.asarray(base, dtype=float)
+    return np.maximum(np.abs(val_up - base), np.abs(val_dn - base))
+
+
+def _variation_witness_many(
+    layers: list[AffineLayer],
+    x: np.ndarray,
+    ball_lo: np.ndarray,
+    ball_hi: np.ndarray,
+    base: np.ndarray,
+) -> np.ndarray:
+    """Gradient-corner witnesses for a stack of starts, ``(..., m)``.
+
+    The vectorized core of :func:`_variation_witness`: one Jacobian
+    stack, one corner stack, two forward stacks — over *all* starts of
+    *all* queries at once instead of two forwards per (start, output).
+    """
+    jac = _output_jacobian_many(layers, x)
+    return _corner_witness(layers, jac, ball_lo, ball_hi, base)
+
+
 def _variation_witness(
     layers: list[AffineLayer],
     x: np.ndarray,
@@ -87,15 +191,19 @@ def _variation_witness(
     bounds on ``|F(·) − reference|`` (``reference`` defaults to
     ``F(x)`` — the right baseline for global pairs; local queries pass
     ``F(x0)`` so every witness is measured against the center).
+
+    Implemented as the batch-of-one case of
+    :func:`_variation_witness_many`; non-target outputs stay zero.
     """
+    x = np.asarray(x, dtype=float).reshape(-1)
     base = affine_chain_forward(layers, x) if reference is None else reference
+    witness = _variation_witness_many(
+        layers, x[None, :], ball.lo[None, :], ball.hi[None, :],
+        np.asarray(base, dtype=float)[None, :],
+    )[0]
     best = np.zeros(layers[-1].out_dim)
-    for j in targets:
-        grad = _output_gradient(layers, x, j)
-        for direction in (grad, -grad):
-            corner = np.where(direction >= 0.0, ball.hi, ball.lo)
-            value = affine_chain_forward(layers, corner)[j]
-            best[j] = max(best[j], abs(value - base[j]))
+    idx = list(targets)
+    best[idx] = witness[idx]
     return best
 
 
@@ -226,3 +334,278 @@ def presolve_global(
         if eps_lb.max() > epsilon:
             return certificate(eps_lb, "refuted")
     return None
+
+
+# -- batched presolve ---------------------------------------------------------
+
+
+def _as_query_array(values, queries: int, what: str) -> np.ndarray:
+    """Broadcast a scalar or per-query vector to shape ``(queries,)``."""
+    arr = np.asarray(values, dtype=float).reshape(-1)
+    if arr.size == 1:
+        return np.full(queries, float(arr[0]))
+    if arr.size != queries:
+        raise ValueError(
+            f"{what} has {arr.size} entries for {queries} queries"
+        )
+    return arr.copy()
+
+
+def _attack_chunk(rows: int, per_row: int) -> int:
+    """Query rows per attack chunk under the scratch-memory soft cap."""
+    return max(1, int(_ATTACK_CHUNK_ELEMS // max(per_row, 1)))
+
+
+def _replay_attack(
+    witness: np.ndarray, epsilon: float
+) -> np.ndarray | None:
+    """Replay one query's sequential attack over its witness rows.
+
+    Reproduces the scalar loop exactly: a running per-output max over
+    the starts in order, stopping at the *first* start whose max
+    exceeds ε — so a refuted certificate carries the same (possibly
+    partial) ``epsilons`` array the scalar early-exit would have
+    returned.  ``None`` when no prefix exceeds ε (undecided).
+    """
+    eps_lb = np.zeros(witness.shape[-1])
+    for row in witness:
+        eps_lb = np.maximum(eps_lb, row)
+        if eps_lb.max() > epsilon:
+            return eps_lb
+    return None
+
+
+def presolve_local_many(
+    network: Network | list[AffineLayer],
+    centers: np.ndarray,
+    deltas: "float | np.ndarray",
+    epsilons: "float | np.ndarray",
+    domain: Box | None = None,
+    bounds: str = "symbolic",
+    layer_bounds: BatchedLayerBounds | None = None,
+    attack_samples: int = 4,
+    seed: int = 0,
+) -> "list[LocalCertificate | None]":
+    """Decide many local ε-queries in one batched pass.
+
+    One batched bound propagation over all δ-balls proves, and one
+    corner-vectorized gradient attack refutes, the whole stack at once.
+    Entry ``q`` of the returned list is **bit-identical** (verdict,
+    ``epsilons``, output box) to
+    ``presolve_local(network, centers[q], deltas[q], epsilons[q], ...)``
+    — including the ``None`` fallthrough for undecided queries.  The
+    scalar path's fresh ``default_rng(seed)`` per query means all
+    queries share the same uniform draws, so the batch samples them
+    once.
+
+    Args:
+        network: Model or affine chain (shared by every query).
+        centers: Stacked samples, shape ``(queries, n)``.
+        deltas: Scalar or per-query L∞ radii.
+        epsilons: Scalar or per-query variation targets.
+        domain: Optional domain box intersected with every δ-ball.
+        bounds: Propagator for the proving side (default symbolic).
+        layer_bounds: Pre-computed :class:`BatchedLayerBounds` over the
+            δ-ball stack (the batch engine's cache); computed if omitted.
+        attack_samples: Extra random starts per query (scalar default).
+        seed: RNG seed for the shared random starts.
+    """
+    t0 = time.perf_counter()
+    layers = as_affine_chain(network)
+    centers = np.atleast_2d(np.asarray(centers, dtype=float))
+    queries, dim = centers.shape
+    deltas = _as_query_array(deltas, queries, "deltas")
+    epsilons = _as_query_array(epsilons, queries, "epsilons")
+    out_dim = layers[-1].out_dim
+
+    ball_lo = centers - deltas[:, None]
+    ball_hi = centers + deltas[:, None]
+    if domain is not None:
+        ball_lo = np.maximum(ball_lo, domain.lo)
+        ball_hi = np.minimum(ball_hi, domain.hi)
+    balls = BatchedBox(ball_lo, ball_hi)
+    if layer_bounds is None:
+        layer_bounds = propagate_many(bounds, layers, balls)
+    out = layer_bounds.output
+    base = _forward_many(layers, centers)
+    eps_ub = variation_from_reference(out.lo, out.hi, base)
+
+    verdicts: list[tuple[str, np.ndarray] | None] = [None] * queries
+    attack_rows = []
+    for q in range(queries):
+        if float(eps_ub[q].max()) <= epsilons[q]:
+            verdicts[q] = ("certified", eps_ub[q].copy())
+        else:
+            attack_rows.append(q)
+
+    if attack_rows:
+        rng = np.random.default_rng(seed)
+        u = rng.random((attack_samples, dim))
+        chunk = _attack_chunk(
+            len(attack_rows), (attack_samples + 1) * out_dim * dim
+        )
+        for k in range(0, len(attack_rows), chunk):
+            sel = np.asarray(attack_rows[k : k + chunk])
+            lo, hi = balls.lo[sel], balls.hi[sel]
+            starts = np.concatenate(
+                [
+                    centers[sel][:, None, :],
+                    lo[:, None, :] + u[None, :, :] * (hi - lo)[:, None, :],
+                ],
+                axis=1,
+            )
+            witness = _variation_witness_many(
+                layers, starts, lo[:, None, :], hi[:, None, :],
+                base[sel][:, None, :],
+            )
+            for row, q in enumerate(sel):
+                eps_lb = _replay_attack(witness[row], float(epsilons[q]))
+                if eps_lb is not None:
+                    verdicts[q] = ("refuted", eps_lb)
+
+    share = (time.perf_counter() - t0) / queries
+    results: list[LocalCertificate | None] = [None] * queries
+    for q, verdict in enumerate(verdicts):
+        if verdict is None:
+            continue
+        name, eps = verdict
+        results[q] = LocalCertificate(
+            center=centers[q].copy(),
+            delta=float(deltas[q]),
+            epsilons=eps,
+            output_lo=out.lo[q].copy(),
+            output_hi=out.hi[q].copy(),
+            method="presolve",
+            exact=False,
+            solve_time=share,
+            detail={
+                "verdict": name,
+                "bounds": layer_bounds.method,
+                "epsilon": float(epsilons[q]),
+            },
+        )
+    return results
+
+
+def presolve_global_many(
+    network: Network | list[AffineLayer],
+    domain: Box,
+    deltas: "float | np.ndarray",
+    epsilons: "float | np.ndarray",
+    bounds: str = "symbolic",
+    layer_bounds: BatchedLayerBounds | None = None,
+    attack_samples: int = 8,
+    seed: int = 0,
+) -> "list[GlobalCertificate | None]":
+    """Decide many global ε-queries (shared domain) in one batched pass.
+
+    The twin propagation runs once over a stack of ``queries`` copies of
+    ``domain`` with per-query δ radii; the refuting attack computes each
+    start's Jacobian **once** and reuses it for every query's δ-ball
+    corners.  Entry ``q`` is bit-identical to
+    ``presolve_global(network, domain, deltas[q], epsilons[q], ...)``
+    (see :func:`presolve_local_many` for the RNG-sharing argument —
+    here even the domain samples coincide across queries).
+    """
+    t0 = time.perf_counter()
+    layers = as_affine_chain(network)
+    dim = domain.dim
+    deltas = np.asarray(deltas, dtype=float).reshape(-1)
+    epsilons = np.asarray(epsilons, dtype=float).reshape(-1)
+    queries = max(deltas.size, epsilons.size)
+    deltas = _as_query_array(deltas, queries, "deltas")
+    epsilons = _as_query_array(epsilons, queries, "epsilons")
+    out_dim = layers[-1].out_dim
+
+    if layer_bounds is None:
+        stack = as_batched_box([domain] * queries)
+        layer_bounds = propagate_many(bounds, layers, stack, deltas)
+    eps_ub = layer_bounds.output_variation_bounds()
+
+    verdicts: list[tuple[str, np.ndarray] | None] = [None] * queries
+    attack_rows = []
+    for q in range(queries):
+        if float(eps_ub[q].max()) <= epsilons[q]:
+            verdicts[q] = ("certified", eps_ub[q].copy())
+        else:
+            attack_rows.append(q)
+
+    if attack_rows and attack_samples > 0:
+        rng = np.random.default_rng(seed)
+        starts = domain.sample(rng, attack_samples)
+        jac = _output_jacobian_many(layers, starts)
+        base = _forward_many(layers, starts)
+        chunk = _attack_chunk(
+            len(attack_rows), attack_samples * out_dim * dim
+        )
+        for k in range(0, len(attack_rows), chunk):
+            sel = np.asarray(attack_rows[k : k + chunk])
+            radius = deltas[sel][:, None, None]
+            lo = np.maximum(starts[None, :, :] - radius, domain.lo)
+            hi = np.minimum(starts[None, :, :] + radius, domain.hi)
+            witness = _corner_witness(layers, jac, lo, hi, base)
+            for row, q in enumerate(sel):
+                eps_lb = _replay_attack(witness[row], float(epsilons[q]))
+                if eps_lb is not None:
+                    verdicts[q] = ("refuted", eps_lb)
+
+    share = (time.perf_counter() - t0) / queries
+    results: list[GlobalCertificate | None] = [None] * queries
+    for q, verdict in enumerate(verdicts):
+        if verdict is None:
+            continue
+        name, eps = verdict
+        results[q] = GlobalCertificate(
+            delta=float(deltas[q]),
+            epsilons=eps,
+            method="presolve",
+            exact=False,
+            solve_time=share,
+            detail={
+                "verdict": name,
+                "bounds": layer_bounds.method,
+                "epsilon": float(epsilons[q]),
+            },
+        )
+    return results
+
+
+def presolve_many(
+    network: Network | list[AffineLayer],
+    kind: str,
+    *,
+    centers: np.ndarray | None = None,
+    domain: Box | None = None,
+    deltas: "float | np.ndarray",
+    epsilons: "float | np.ndarray",
+    bounds: str = "symbolic",
+    layer_bounds: BatchedLayerBounds | None = None,
+    attack_samples: int | None = None,
+    seed: int = 0,
+):
+    """Batched presolve dispatcher: one call per query *family*.
+
+    ``kind="local"`` requires ``centers`` and forwards to
+    :func:`presolve_local_many`; ``kind="global"`` requires ``domain``
+    and forwards to :func:`presolve_global_many`.  ``attack_samples``
+    defaults to each family's scalar default (4 local, 8 global).
+    """
+    if kind == "local":
+        if centers is None:
+            raise ValueError("kind='local' needs stacked centers")
+        return presolve_local_many(
+            network, centers, deltas, epsilons, domain=domain,
+            bounds=bounds, layer_bounds=layer_bounds,
+            attack_samples=4 if attack_samples is None else attack_samples,
+            seed=seed,
+        )
+    if kind == "global":
+        if domain is None:
+            raise ValueError("kind='global' needs an input domain")
+        return presolve_global_many(
+            network, domain, deltas, epsilons,
+            bounds=bounds, layer_bounds=layer_bounds,
+            attack_samples=8 if attack_samples is None else attack_samples,
+            seed=seed,
+        )
+    raise ValueError(f"unknown presolve kind {kind!r} (expected 'local'/'global')")

@@ -39,7 +39,7 @@ import numpy as np
 
 from repro import _sanitize
 from repro.bounds.interval import Box
-from repro.bounds.propagator import LayerBounds, get_propagator
+from repro.bounds.propagator import LayerBounds, get_propagator, propagate_many
 from repro.certify.presolve import (
     _output_gradient,
     _variation_witness,
@@ -75,6 +75,15 @@ class SplitConfig:
             MILP leaves (guards against splitting a near-point box).
         attack_samples: Extra random gradient-corner attack starts per
             subdomain (the subdomain center is always attacked).
+        frontier_batch: Subdomains popped from the work-queue per
+            branch-and-bound round.  All children bisected in a round
+            are bounded in **one** batched
+            :func:`~repro.bounds.propagator.propagate_many` call instead
+            of one propagation per child.  Batched rows are
+            bit-identical to scalar propagation, so ``1`` reproduces the
+            sequential tier's exploration exactly; larger waves keep the
+            same soundness but may explore the tree in a different
+            order near the domain budget.
         backend: MILP backend for leaf solves.
         bounds: Bound propagator re-run per subdomain (default
             ``"symbolic"`` — the whole point is tight per-box bounds).
@@ -103,6 +112,7 @@ class SplitConfig:
     max_depth: int = 12
     min_width: float = 1e-6
     attack_samples: int = 1
+    frontier_batch: int = 8
     backend: str = "scipy"
     bounds: str = "symbolic"
     time_limit: float | None = None
@@ -116,6 +126,8 @@ class SplitConfig:
             raise ValueError("max_domains must be >= 1")
         if self.max_depth < 0:
             raise ValueError("max_depth must be >= 0")
+        if self.frontier_batch < 1:
+            raise ValueError("frontier_batch must be >= 1")
         if self.time_limit is not None and not self.time_limit > 0:
             # `not > 0` also rejects NaN (same contract as the batch
             # engine's CertificationQuery.time_limit).
@@ -636,6 +648,35 @@ class _SplitRun:
             eps_ub=eps_ub,
         )
 
+    def evaluate_many(self, boxes: list[Box], depths: list[int]) -> list[_QueueItem]:
+        """Bound a whole frontier wave in one batched propagation.
+
+        One :func:`~repro.bounds.propagator.propagate_many` call
+        replaces one ``propagate`` per child.  Every returned queue
+        entry is bit-identical to :meth:`evaluate` on its box (batched
+        rows match scalar propagation exactly), so the wave size only
+        changes *when* boxes are bounded, never what their bounds are.
+        """
+        self.domains += len(boxes)
+        deltas = None if self.kind == "local" else self.delta
+        batched = propagate_many(self.propagator, self.layers, boxes, deltas)
+        if self.kind == "local":
+            out = batched.output
+            eps_ub = variation_from_reference(out.lo, out.hi, self.base)
+        else:
+            eps_ub = batched.output_variation_bounds()
+        return [
+            _QueueItem(
+                priority=self.epsilon - float(eps_ub[q].max()),
+                seq=next(self.seq),
+                depth=depths[q],
+                box=boxes[q],
+                bounds=batched.row(q),
+                eps_ub=eps_ub[q].copy(),
+            )
+            for q in range(len(boxes))
+        ]
+
     def attack(self, box: Box) -> np.ndarray:
         """Best concrete per-output variation found inside ``box``."""
         starts = [box.center]
@@ -679,27 +720,50 @@ class _SplitRun:
                 self.undecided.extend((i.box, i.eps_ub) for i in heap)
                 heap.clear()
                 break
-            item = heapq.heappop(heap)
-            eps_lb = self.attack(item.box)
-            if float(eps_lb.max()) > self.epsilon:
-                refuted_eps = eps_lb
-                break
-            at_leaf = (
-                item.depth >= self.config.max_depth
-                or float(item.box.width().max()) <= self.config.min_width
-                or self.domains >= self.config.max_domains
-            )
-            if at_leaf:
-                self.milp_leaves.append(
-                    _Leaf(item.box, item.bounds, item.eps_ub, item.depth)
+            # One round: pop a wave of the worst subdomains, attack and
+            # classify them in pop order, then bound every bisected
+            # child in a single batched propagation.
+            wave: list[_QueueItem] = []
+            while heap and len(wave) < self.config.frontier_batch:
+                wave.append(heapq.heappop(heap))
+            splits: list[tuple[_QueueItem, int]] = []
+            for w, item in enumerate(wave):
+                eps_lb = self.attack(item.box)
+                if float(eps_lb.max()) > self.epsilon:
+                    refuted_eps = eps_lb
+                    # Wave members not yet resolved (and scheduled
+                    # splits whose children never got bounded) rejoin
+                    # the heap so the post-loop bookkeeping records
+                    # them as undecided — one witness refutes them all.
+                    for leftover in wave[w + 1 :] + [i for i, _ in splits]:
+                        heapq.heappush(heap, leftover)
+                    break
+                at_leaf = (
+                    item.depth >= self.config.max_depth
+                    or float(item.box.width().max()) <= self.config.min_width
+                    # Children already scheduled this round count toward
+                    # the budget, exactly as sequential processing
+                    # would have evaluated them before this pop.
+                    or self.domains + 2 * len(splits) >= self.config.max_domains
                 )
+                if at_leaf:
+                    self.milp_leaves.append(
+                        _Leaf(item.box, item.bounds, item.eps_ub, item.depth)
+                    )
+                    continue
+                dim = _split_dimension(
+                    self.layers, item.box, int(np.argmax(item.eps_ub))
+                )
+                self.bisections += 1
+                splits.append((item, dim))
+            if refuted_eps is not None or not splits:
                 continue
-            dim = _split_dimension(
-                self.layers, item.box, int(np.argmax(item.eps_ub))
-            )
-            self.bisections += 1
-            for child in _bisect(item.box, dim):
-                child_item = self.evaluate(child, item.depth + 1)
+            children: list[Box] = []
+            depths: list[int] = []
+            for item, dim in splits:
+                children.extend(_bisect(item.box, dim))
+                depths.extend([item.depth + 1, item.depth + 1])
+            for child_item in self.evaluate_many(children, depths):
                 if float(child_item.eps_ub.max()) <= self.epsilon:
                     self.proved.append(
                         (child_item.box, child_item.eps_ub, child_item.bounds)
@@ -795,6 +859,7 @@ class _SplitRun:
             "bounds": self.config.bounds,
             "domains": self.domains,
             "bisections": self.bisections,
+            "frontier_batch": self.config.frontier_batch,
             "proved_by_bounds": self.proved_by_bounds,
             "milp_leaves": len(self.milp_leaves),
             "milp_limit_hits": self.milp_limit_hits,

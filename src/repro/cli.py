@@ -190,6 +190,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--no-presolve", action="store_true",
                          help="force the MILP tier even when --epsilon "
                          "is given")
+    p_batch.add_argument("--no-bulk-presolve", action="store_true",
+                         help="disable the batched presolve prefilter "
+                         "(queries fall back to per-query presolve in "
+                         "the workers; identical certificates, no bulk "
+                         "screening)")
     _add_split_args(p_batch)
     p_batch.add_argument("--time-limit", type=_positive_seconds, default=None,
                          help="per-query time limit in seconds (for --split "
@@ -371,7 +376,10 @@ def _cmd_batch(args) -> int:
         max_domains=args.max_domains, split_depth=args.split_depth,
         warm_start=args.warm_start, time_limit=args.time_limit,
     )
-    engine = BatchCertifier(max_workers=args.workers)
+    engine = BatchCertifier(
+        max_workers=args.workers,
+        bulk_presolve=not args.no_bulk_presolve,
+    )
     results = engine.run(
         queries,
         progress=lambda done, total, r: print(
@@ -409,6 +417,11 @@ def _cmd_batch(args) -> int:
         if args.epsilon is not None:
             print(f"presolve tier answered {presolved}/{len(ok)} queries "
                   "without a MILP")
+            stats = engine.presolve_stats
+            if stats["queries"]:
+                print(f"bulk presolve screened {stats['queries']} queries in "
+                      f"{stats['groups']} batched pass(es), answering "
+                      f"{stats['answered']} before dispatch")
         if args.split:
             split_results = [r for r in ok if r.certificate.method == "split"]
             decided = sum(

@@ -390,6 +390,13 @@ class BatchCertifier:
             (capped by the batch size).  ``1`` executes inline — same
             semantics, no processes — which is also the automatic
             fallback when the platform cannot fork worker processes.
+        bulk_presolve: Screen the whole submission with one batched
+            presolve pass per query group *before* any worker dispatch
+            (default on).  Queries the pass decides never reach the
+            pool; undecided ones skip the (now redundant) scalar
+            presolve in their worker.  Per-query certificates are
+            bit-identical to the scalar presolve tier's, so turning
+            this off changes scheduling only, never results.
 
     Attributes:
         bounds_cache_info: After :meth:`run`, a dict with the shared
@@ -398,13 +405,23 @@ class BatchCertifier:
             once in the parent, "shared": queries served from an
             already-computed entry}``.  Pairs occurring only once are
             propagated inside the workers (in parallel) instead.
+        presolve_stats: After :meth:`run`, the bulk-presolve prefilter
+            stats: ``{"groups": batched presolve calls made,
+            "queries": queries screened by them, "answered": queries
+            they decided (certified or refuted) without any dispatch}``.
     """
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(
+        self, max_workers: int | None = None, bulk_presolve: bool = True
+    ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.max_workers = max_workers
+        self.bulk_presolve = bulk_presolve
         self.bounds_cache_info: dict[str, int] = {"entries": 0, "shared": 0}
+        self.presolve_stats: dict[str, int] = {
+            "groups": 0, "queries": 0, "answered": 0,
+        }
 
     def _attach_shared_bounds(self, queries: list[CertificationQuery]) -> None:
         """Compute one LayerBounds per repeated (network, input-box) pair.
@@ -447,12 +464,94 @@ class BatchCertifier:
                 self.bounds_cache_info["entries"] += 1
             query.shared_bounds = cache[key]
 
+    def _bulk_presolve(
+        self, queries: list[CertificationQuery]
+    ) -> dict[int, BatchResult]:
+        """Screen the submission with one batched presolve pass per group.
+
+        Presolve-eligible queries sharing a network object, kind family
+        (local / global) and domain form a *group*; every group of two
+        or more is decided in the submitting process by
+        :func:`~repro.certify.presolve.presolve_many` — one batched
+        bound propagation plus one corner-vectorized attack over the
+        whole group, per-query bit-identical to the scalar presolve the
+        workers would have run.  Undecided members get
+        ``presolve=False``: the tier already ran for them, a worker
+        re-run could only reproduce the same ``None``.  Singleton
+        groups stay with the workers (batching one query buys nothing
+        and would serialize otherwise-parallel propagation here).
+
+        Returns the answered queries as ``{index: BatchResult}``; each
+        carries its group's per-query share of the batched pass time.
+        """
+        from repro.certify.presolve import presolve_many
+
+        self.presolve_stats = {"groups": 0, "queries": 0, "answered": 0}
+        if not self.bulk_presolve:
+            return {}
+        groups: dict[tuple, list[int]] = {}
+        for i, query in enumerate(queries):
+            if not query.wants_presolve() or query.shared_bounds is not None:
+                continue
+            family = "local" if query.kind.startswith("local") else "global"
+            domain = query.domain
+            domain_key = (
+                None if domain is None
+                else (domain.lo.tobytes(), domain.hi.tobytes())
+            )
+            key = (family, id(query.layers), domain_key)
+            groups.setdefault(key, []).append(i)
+
+        answered: dict[int, BatchResult] = {}
+        for (family, _, _), members in groups.items():
+            if len(members) < 2:
+                continue
+            first = queries[members[0]]
+            deltas = np.array([queries[i].delta for i in members], dtype=float)
+            epsilons = np.array(
+                [queries[i].epsilon for i in members], dtype=float
+            )
+            t0 = time.perf_counter()
+            try:
+                if family == "local":
+                    certs = presolve_many(
+                        first.layers, "local",
+                        centers=np.stack(
+                            [queries[i].center for i in members]
+                        ),
+                        domain=first.domain, deltas=deltas, epsilons=epsilons,
+                    )
+                else:
+                    certs = presolve_many(
+                        first.layers, "global",
+                        domain=first.domain, deltas=deltas, epsilons=epsilons,
+                    )
+            # repro-lint: ignore[RPR005] — a failing batched pass must not sink the submission; the group silently falls back to per-query scalar presolve in the workers, whose per-query error capture reports whatever is actually wrong
+            except Exception:
+                continue
+            share = (time.perf_counter() - t0) / len(members)
+            self.presolve_stats["groups"] += 1
+            self.presolve_stats["queries"] += len(members)
+            for i, cert in zip(members, certs):
+                queries[i].presolve = False  # tier already ran for this query
+                if cert is not None:
+                    answered[i] = BatchResult(
+                        index=i, tag=queries[i].tag, certificate=cert,
+                        elapsed=share,
+                    )
+                    self.presolve_stats["answered"] += 1
+        return answered
+
     def run(
         self,
         queries: Sequence[CertificationQuery],
         progress: ProgressFn | None = None,
     ) -> list[BatchResult]:
         """Execute all queries; return one :class:`BatchResult` each.
+
+        The bulk-presolve prefilter runs first (see ``bulk_presolve``);
+        only the queries it leaves unanswered are dispatched to worker
+        processes.
 
         Args:
             queries: Independent queries; order defines result order.
@@ -463,48 +562,69 @@ class BatchCertifier:
         total = len(queries)
         if total == 0:
             return []
-        self._attach_shared_bounds(queries)
+        results: list[BatchResult | None] = [None] * total
+        done = 0
+        for index, result in sorted(self._bulk_presolve(queries).items()):
+            results[index] = result
+            done += 1
+            if progress is not None:
+                progress(done, total, result)
+        pending = [(i, q) for i, q in enumerate(queries) if results[i] is None]
+        self._attach_shared_bounds([q for _, q in pending])
+        if not pending:
+            return [r for r in results if r is not None]
         workers = self.max_workers or os.cpu_count() or 1
-        workers = min(workers, total)
+        workers = min(workers, len(pending))
         if workers == 1:
-            if total == 1 and queries[0].split and queries[0].split_workers is None:
+            if (
+                len(pending) == 1
+                and pending[0][1].split
+                and pending[0][1].split_workers is None
+            ):
                 # A batch of one split query runs inline; hand the
                 # engine's process budget to its leaf MILPs instead so
                 # the pool still does the parallel work.
-                queries[0].split_workers = self.max_workers or os.cpu_count() or 1
-            return self._run_serial(queries, progress)
-        try:
-            return self._run_pool(queries, workers, progress)
-        except _POOL_FAILURES:
-            # Sandboxes without fork support, or a worker process that
-            # died (OOM kill, native crash): stay correct, run inline.
-            return self._run_serial(queries, progress)
+                pending[0][1].split_workers = (
+                    self.max_workers or os.cpu_count() or 1
+                )
+            dispatched = self._run_serial(pending, total, done, progress)
+        else:
+            try:
+                dispatched = self._run_pool(
+                    pending, workers, total, done, progress
+                )
+            except _POOL_FAILURES:
+                # Sandboxes without fork support, or a worker process
+                # that died (OOM kill, native crash): stay correct, run
+                # inline.
+                dispatched = self._run_serial(pending, total, done, progress)
+        for result in dispatched:
+            results[result.index] = result
+        return [r for r in results if r is not None]  # every slot filled
 
     @staticmethod
-    def _run_serial(queries, progress) -> list[BatchResult]:
+    def _run_serial(pending, total, done, progress) -> list[BatchResult]:
         results = []
-        for i, query in enumerate(queries):
-            result = _run_one((i, query))
+        for index, query in pending:
+            result = _run_one((index, query))
             results.append(result)
+            done += 1
             if progress is not None:
-                progress(i + 1, len(queries), result)
+                progress(done, total, result)
         return results
 
     @staticmethod
-    def _run_pool(queries, workers, progress) -> list[BatchResult]:
-        slots: list[BatchResult | None] = [None] * len(queries)
-        done = 0
+    def _run_pool(pending, workers, total, done, progress) -> list[BatchResult]:
+        results: list[BatchResult] = []  # caller slots by result.index
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_run_one, (i, q)) for i, q in enumerate(queries)
-            ]
+            futures = [pool.submit(_run_one, (i, q)) for i, q in pending]
             for future in as_completed(futures):
                 result = future.result()
-                slots[result.index] = result
+                results.append(result)
                 done += 1
                 if progress is not None:
-                    progress(done, len(queries), result)
-        return slots  # every slot filled: one future per index
+                    progress(done, total, result)
+        return results
 
 
 # -- query builders ----------------------------------------------------------

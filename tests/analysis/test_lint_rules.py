@@ -119,6 +119,17 @@ class TestRuleScoping:
         )
         assert "RPR002" in codes(lint(src, "src/repro/bounds/example.py"))
 
+    @pytest.mark.parametrize("cls", ["BatchedBox", "BatchedLayerBounds"])
+    def test_rpr002_covers_batched_containers(self, cls):
+        # The batched (Q, n) stacks alias caller arrays just as silently
+        # as the scalar containers the rule was written for.
+        src = (
+            f"class {cls}:\n"
+            "    def __init__(self, lo):\n"
+            "        self.lo = lo\n"
+        )
+        assert "RPR002" in codes(lint(src, "src/repro/bounds/example.py"))
+
     def test_rpr003_allowed_inside_milp(self):
         src = "from repro.milp.scipy_backend import ScipyBackend\n"
         assert lint(src, "src/repro/milp/backend.py") == []
@@ -235,6 +246,15 @@ class TestSatelliteRegressions:
         # Reverting the RPR002 satellite fix = deleting __post_init__.
         reverted = source.replace("def __post_init__", "def _disabled_post_init")
         relpath = "src/repro/bounds/propagator.py"
+        assert "RPR002" in codes(lint_source(reverted, relpath, relpath))
+
+    def test_batched_copy_guard_is_load_bearing(self):
+        # Same revert probe for the batched containers: deleting their
+        # defensive-copy __post_init__ must trip RPR002.
+        with open("src/repro/bounds/batched.py", encoding="utf-8") as handle:
+            source = handle.read()
+        reverted = source.replace("def __post_init__", "def _disabled_post_init")
+        relpath = "src/repro/bounds/batched.py"
         assert "RPR002" in codes(lint_source(reverted, relpath, relpath))
 
     def test_registry_fix_is_load_bearing(self):

@@ -116,13 +116,47 @@ class TestPresolveTier:
 
     def test_shared_bounds_cached_per_input_box(self, layers, centers):
         # The same center submitted twice must propagate bounds once.
+        # (Legacy path: with the bulk prefilter on, these queries would
+        # be answered in the parent before the cache ever sees them.)
         doubled = np.vstack([centers, centers])
         queries = local_queries(layers, doubled, 0.01, epsilon=1e6)
-        engine = BatchCertifier(max_workers=1)
+        engine = BatchCertifier(max_workers=1, bulk_presolve=False)
         engine.run(queries)
         assert engine.bounds_cache_info["entries"] == len(centers)
         assert engine.bounds_cache_info["shared"] == len(centers)
         assert all(q.shared_bounds is not None for q in queries)
+
+    def test_bulk_presolve_screens_batch_in_parent(self, layers, centers):
+        queries = local_queries(layers, centers, 0.01, epsilon=1e6)
+        engine = BatchCertifier(max_workers=1)
+        results = engine.run(queries)
+        assert all(r.ok for r in results)
+        assert all(r.certificate.method == "presolve" for r in results)
+        assert engine.presolve_stats == {
+            "groups": 1, "queries": len(centers), "answered": len(centers),
+        }
+        # The prefilter marks every screened query so workers never
+        # repeat the tier.
+        assert all(not q.presolve for q in queries)
+
+    def test_bulk_presolve_matches_scalar_presolve(self, layers, centers):
+        # Identical submissions with the prefilter on and off must
+        # produce bit-identical certificates (only scheduling differs).
+        eps = 0.3
+        on = BatchCertifier(max_workers=1).run(
+            local_queries(layers, centers, 0.05, epsilon=eps)
+        )
+        off = BatchCertifier(max_workers=1, bulk_presolve=False).run(
+            local_queries(layers, centers, 0.05, epsilon=eps)
+        )
+        for a, b in zip(on, off):
+            assert a.ok and b.ok
+            assert a.certificate.method == b.certificate.method
+            np.testing.assert_array_equal(
+                a.certificate.epsilons, b.certificate.epsilons
+            )
+            assert a.certificate.detail.get("verdict") == \
+                b.certificate.detail.get("verdict")
 
     def test_global_presolve_through_engine(self, layers):
         box = Box.uniform(3, 0.0, 1.0)

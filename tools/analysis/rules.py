@@ -115,12 +115,17 @@ class DefensiveArrayIngestion:
 
     CODE = "RPR002"
     SUMMARY = (
-        "caller-array ingestion in Box/LayerBounds/ConstraintBlock "
-        "constructors must .copy() (or carry a documented-read-only waiver)"
+        "caller-array ingestion in Box/BatchedBox/LayerBounds/"
+        "BatchedLayerBounds/ConstraintBlock constructors must .copy() "
+        "(or carry a documented-read-only waiver)"
     )
 
-    #: Constructors audited for the PR-1 ``Box`` aliasing bug class.
-    ARRAY_CLASSES = frozenset({"Box", "LayerBounds", "ConstraintBlock"})
+    #: Constructors audited for the PR-1 ``Box`` aliasing bug class —
+    #: including their batched (query-stacked) counterparts, whose
+    #: ``(Q, n)`` arrays alias just as silently.
+    ARRAY_CLASSES = frozenset(
+        {"Box", "BatchedBox", "LayerBounds", "BatchedLayerBounds", "ConstraintBlock"}
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
