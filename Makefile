@@ -6,10 +6,17 @@ PYTHON ?= python
 BASE_REF ?= origin/main
 LINT_PATHS := src benchmarks tests
 
-.PHONY: test lint lint-diff lint-sarif ratchet bench-smoke
+.PHONY: test test-chaos lint lint-diff lint-sarif ratchet bench-smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# CI chaos job: runtime + certify suites with every worker process
+# raising one injected fault, then the fault suite itself env-free.
+test-chaos:
+	REPRO_FAULTS="batch.worker:raise@1" PYTHONPATH=src \
+		$(PYTHON) -m pytest -x -q tests/runtime tests/certify
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/runtime/test_faults.py
 
 # Full analysis gate: per-node rules + RPR101-105 flow rules (CFG /
 # dataflow / call graph) with the shrink-only baseline applied.
@@ -33,3 +40,4 @@ bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m benchmarks.bench_splitting --smoke
 	PYTHONPATH=src $(PYTHON) -m benchmarks.bench_warmstart --smoke
 	PYTHONPATH=src $(PYTHON) -m benchmarks.bench_batch_bounds --smoke
+	PYTHONPATH=src $(PYTHON) -m benchmarks.bench_faults --smoke

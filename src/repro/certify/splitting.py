@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro import _sanitize
+from repro import _faults, _sanitize
 from repro.bounds.interval import Box
 from repro.bounds.propagator import LayerBounds, get_propagator, propagate_many
 from repro.certify.presolve import (
@@ -496,6 +496,8 @@ class _SessionLeafSolver:
 def _leaf_worker(payload) -> _LeafOutcome:
     """Picklable entry point for parallel leaf solving."""
     kind, layers, leaf, extra, backend, time_limit = payload
+    if _faults.ENABLED:
+        _faults.fault_point("split.leaf")
     if kind == "local":
         return _solve_local_leaf(layers, leaf, extra, backend, time_limit)
     delta, domain = extra
@@ -546,35 +548,52 @@ def _solve_leaves(
             return outcomes
         finally:
             solver.close()
+    from repro.runtime.batch import _POOL_FAILURES
+
+    transient = _POOL_FAILURES + (_faults.InjectedFault,)
     workers = 1 if config.leaf_workers is None else config.leaf_workers
     workers = min(workers, len(leaves))
     if workers > 1:
-        from concurrent.futures import ProcessPoolExecutor
-
-        from repro.runtime.batch import _POOL_FAILURES
+        from concurrent.futures import ProcessPoolExecutor, as_completed
 
         remaining = None if deadline is None else deadline - time.perf_counter()
         if remaining is not None and remaining <= 0:
             return outcomes
-        payloads = [
-            (kind, layers, leaves[i], extra, config.backend, remaining)
-            for i in order
-        ]
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                solved = list(pool.map(_leaf_worker, payloads))
-            for i, outcome in zip(order, solved):
-                outcomes[i] = outcome
-            return outcomes
+                futures = {
+                    pool.submit(_leaf_worker, (
+                        kind, layers, leaves[i], extra, config.backend,
+                        remaining,
+                    )): i
+                    for i in order
+                }
+                for future in as_completed(futures):
+                    try:
+                        outcomes[futures[future]] = future.result()
+                    except transient:
+                        # Salvage: keep every leaf that finished; this
+                        # one re-solves in the serial sweep below.
+                        continue
         except _POOL_FAILURES:
             pass  # sandboxes without fork: fall through to serial
     for i in order:
+        if outcomes[i] is not None:
+            continue  # solved by the pool (or a salvaged remnant of it)
         remaining = None if deadline is None else deadline - time.perf_counter()
         if remaining is not None and remaining <= 0:
             break  # deadline: remaining leaves stay undecided (sound)
-        outcomes[i] = _leaf_worker(
-            (kind, layers, leaves[i], extra, config.backend, remaining)
-        )
+        payload = (kind, layers, leaves[i], extra, config.backend, remaining)
+        try:
+            outcomes[i] = _leaf_worker(payload)
+        except transient:
+            # One inline retry for transient failures (injected chaos
+            # faults, IPC hiccups); a second failure leaves the leaf
+            # undecided, which the driver already treats soundly.
+            try:
+                outcomes[i] = _leaf_worker(payload)
+            except transient:
+                continue
     return outcomes
 
 

@@ -199,6 +199,17 @@ def _build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--time-limit", type=_positive_seconds, default=None,
                          help="per-query time limit in seconds (for --split "
                          "queries: the shared deadline of each run)")
+    p_batch.add_argument("--query-timeout", type=_positive_seconds,
+                         default=None,
+                         help="HARD per-query wall-clock limit: a watchdog "
+                         "kills the worker running an overdue query and the "
+                         "query resolves to a sound degraded answer "
+                         "(multi-worker runs only; --time-limit is the "
+                         "cooperative solver budget)")
+    p_batch.add_argument("--max-retries", type=int, default=None,
+                         help="attempts per query for transient failures "
+                         "(worker deaths, broken pools) before a sound "
+                         "degraded answer (default: 3)")
     p_batch.add_argument("--seed", type=int, default=0)
     return parser
 
@@ -351,7 +362,7 @@ def _cmd_attack(args) -> int:
 
 
 def _cmd_batch(args) -> int:
-    from repro.runtime import BatchCertifier, local_queries
+    from repro.runtime import BatchCertifier, RetryPolicy, local_queries
     from repro.utils import format_table
 
     net = load_network(args.model)
@@ -376,9 +387,17 @@ def _cmd_batch(args) -> int:
         max_domains=args.max_domains, split_depth=args.split_depth,
         warm_start=args.warm_start, time_limit=args.time_limit,
     )
+    if args.max_retries is not None and args.max_retries < 1:
+        print("error: --max-retries must be >= 1", file=sys.stderr)
+        return 2
     engine = BatchCertifier(
         max_workers=args.workers,
         bulk_presolve=not args.no_bulk_presolve,
+        retry=(
+            None if args.max_retries is None
+            else RetryPolicy(max_attempts=args.max_retries)
+        ),
+        query_timeout=args.query_timeout,
     )
     results = engine.run(
         queries,
@@ -430,6 +449,16 @@ def _cmd_batch(args) -> int:
             )
             print(f"split tier decided {decided}/{len(split_results)} "
                   "escalated queries")
+    faults = engine.fault_stats
+    if any(faults.values()):
+        degraded = [r for r in results if r.degraded]
+        print(f"fault tolerance: {faults['retries']} retried attempt(s), "
+              f"{len(degraded)} degraded answer(s), "
+              f"{faults['workers_killed']} stuck worker(s) replaced, "
+              f"{faults['pool_rebuilds']} pool rebuild(s)")
+        for r in degraded:
+            print(f"  {r.tag}: degraded ({r.detail.get('reason', '?')}) "
+                  "— sound undecided bounds", file=sys.stderr)
     for r in failures:
         print(f"\nquery {r.tag} failed:\n{r.error}", file=sys.stderr)
     return 1 if failures else 0

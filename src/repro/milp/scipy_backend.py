@@ -8,6 +8,7 @@ import numpy as np
 import scipy.optimize as sopt
 import scipy.sparse as sparse
 
+from repro import _faults
 from repro.milp.solution import SolveResult, SolveStatus, finalize_user_sense
 
 from typing import TYPE_CHECKING, Sequence
@@ -125,6 +126,8 @@ class ScipyBackend:
         mip_gap: float | None,
     ) -> SolveResult:
         """Dispatch a minimization-sense standard form to milp/linprog."""
+        if _faults.ENABLED:
+            _faults.fault_point("scipy.solve")
         t0 = time.perf_counter()
         if integrality.any():
             result = self._solve_milp(

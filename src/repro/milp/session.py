@@ -32,7 +32,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro import _sanitize
+from repro import _faults, _sanitize
 from repro.milp import simplex
 from repro.milp.expr import LinExpr, Var
 from repro.milp.model import _SENSE_EQ, _SENSE_GE, Model
@@ -392,6 +392,8 @@ class SolverSession:
         session test-suite asserts.
         """
         self._require_open()
+        if _faults.ENABLED:
+            _faults.fault_point("session.solve")
         if (self._lo > self._hi).any():
             return self._infeasible()
         a_ub, b_ub = self._assembled()

@@ -14,6 +14,12 @@ This package fans those queries across worker processes:
   when ``CertifierConfig.workers > 1``: chunks a model's objective list
   across processes (export-once semantics are preserved inside each
   worker via the backends' ``solve_objectives`` fast path).
+* :mod:`~repro.runtime.retry` / :mod:`~repro.runtime.faults` — the
+  fault-tolerance substrate: :class:`~repro.runtime.retry.RetryPolicy`
+  (transient-vs-permanent triage, deterministic backoff, per-batch
+  retry budget) and the deterministic fault-injection subsystem
+  (seeded :class:`~repro.runtime.faults.FaultPlan` schedules /
+  ``REPRO_FAULTS``) that chaos-tests the whole tier pipeline.
 """
 
 from repro.runtime.batch import (
@@ -25,12 +31,18 @@ from repro.runtime.batch import (
     local_queries,
     parallel_solve_many,
 )
+from repro.runtime.faults import FaultPlan, FaultSpec, InjectedFault
+from repro.runtime.retry import RetryPolicy
 
 __all__ = [
     "DEFAULT_GLOBAL_TIME_LIMIT",
     "BatchCertifier",
     "BatchResult",
     "CertificationQuery",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "RetryPolicy",
     "global_query",
     "local_queries",
     "parallel_solve_many",

@@ -11,25 +11,35 @@ cost once and the package has no circular imports.
 from __future__ import annotations
 
 import math
+import multiprocessing
 import os
+import signal
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    as_completed,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 #: Exceptions meaning "the process pool itself is unusable" (cannot
 #: fork/spawn, or a worker died mid-batch) — distinct from a query
-#: failure, which workers capture per query.  On these the engine
-#: re-runs the whole batch serially rather than sinking it.
+#: failure, which workers capture per query.  The supervisor salvages
+#: every already-completed result and re-dispatches (or runs inline)
+#: only the unfinished queries.
 _POOL_FAILURES = (OSError, PermissionError, BrokenProcessPool)
 
 import numpy as np
 
+from repro import _faults
 from repro.bounds.interval import Box
 from repro.bounds.propagator import LayerBounds
 from repro.nn.affine import AffineLayer
+from repro.runtime.retry import RetryPolicy
 
 #: Query kinds understood by :func:`_execute_query`.
 QUERY_KINDS = ("local-exact", "local-nd", "local-lpr", "global", "global-exact")
@@ -42,6 +52,15 @@ DEFAULT_GLOBAL_TIME_LIMIT = 30.0
 
 #: Progress callback signature: ``(completed_count, total, result)``.
 ProgressFn = Callable[[int, int, "BatchResult"], None]
+
+#: Zero state of :attr:`BatchCertifier.fault_stats`.
+_FAULT_STATS_ZERO = {
+    "retries": 0,
+    "degraded": 0,
+    "timeouts": 0,
+    "workers_killed": 0,
+    "pool_rebuilds": 0,
+}
 
 
 @dataclass
@@ -215,10 +234,14 @@ class BatchResult:
         tag: The query's caller label.
         certificate: The certificate object on success, else ``None``.
         error: Formatted traceback on failure, else ``None``.
-        detail: On failure, the structured record of what the worker's
-            broad exception handler swallowed: ``error_type`` (qualified
-            exception class), ``error_message`` (``str(exc)``) and
-            ``traceback`` (the formatted stack).  ``None`` on success.
+        detail: Structured extras.  On a *permanent* failure: the record
+            of what the worker's broad exception handler swallowed —
+            ``error_type`` (qualified exception class), ``error_message``
+            (``str(exc)``) and ``traceback`` (the formatted stack).  The
+            retrying execution paths add ``attempts`` (total attempts
+            made); a degraded answer adds ``degraded=True`` and the
+            ``reason`` the compute was abandoned.  ``None`` for results
+            answered without the retry engine (e.g. bulk presolve).
         elapsed: Wall-clock seconds spent inside the worker.
     """
 
@@ -226,13 +249,24 @@ class BatchResult:
     tag: str = ""
     certificate: object | None = None
     error: str | None = None
-    detail: "dict[str, str] | None" = None
+    detail: "dict[str, object] | None" = None
     elapsed: float = 0.0
 
     @property
     def ok(self) -> bool:
         """True when the query produced a certificate."""
         return self.error is None
+
+    @property
+    def degraded(self) -> bool:
+        """True for a sound bounds-only fallback answer (see ``detail``).
+
+        Degraded results are *successes* (``ok`` is true): the
+        certificate carries finite sound bounds and
+        ``verdict="undecided"`` — never an error, never an unsound
+        verdict — but the solver tier never finished for this query.
+        """
+        return bool(self.detail and self.detail.get("degraded"))
 
 
 def _try_presolve(query: CertificationQuery):
@@ -345,11 +379,40 @@ def _execute_query(query: CertificationQuery):
     )
 
 
+#: Start-notification sink installed by :func:`_pool_init` in supervised
+#: worker processes: ``(query index, worker pid)`` markers let the
+#: parent's watchdog know *which* worker owns a query and since when.
+#: ``None`` outside supervised pools (serial runs, plain pools).
+_START_SINK = None
+
+
+def _pool_init(sink, plan) -> None:
+    """Worker initializer for supervised pools.
+
+    Wires the start-marker sink and installs a *fresh* copy of the
+    parent's fault plan, so every worker replays its own deterministic
+    fault schedule from hit 1 regardless of the multiprocessing start
+    method (fork would otherwise inherit the parent's hit counters).
+    """
+    global _START_SINK
+    _START_SINK = sink
+    if plan is not None:
+        _faults.install(plan.fresh())
+
+
 def _run_one(payload: tuple[int, CertificationQuery]) -> BatchResult:
     """Worker entry point: never raises, captures failures per query."""
     index, query = payload
     t0 = time.perf_counter()
+    sink = _START_SINK
+    if sink is not None:
+        # Before any work (and any fault point): a crash after this
+        # marker is attributable to this query, and the watchdog clock
+        # for it starts at parent receipt time.
+        sink.put((index, os.getpid()))
     try:
+        if _faults.ENABLED:
+            _faults.fault_point("batch.worker")
         cert = _execute_query(query)
         return BatchResult(
             index=index, tag=query.tag, certificate=cert,
@@ -367,6 +430,100 @@ def _run_one(payload: tuple[int, CertificationQuery]) -> BatchResult:
             },
             elapsed=time.perf_counter() - t0,
         )
+
+
+# -- graceful degradation -----------------------------------------------------
+
+
+def _degraded_certificate(query: CertificationQuery, bounds: str):
+    """A sound bounds-only certificate for a query whose solve was lost.
+
+    One bound propagation over the query's own input box — exactly the
+    presolve tier's proving side, so the bounds are finite and sound
+    over-approximations whatever the solver tier would have returned.
+    The verdict is always ``"undecided"``: even when the bounds would
+    decide the ε target, degradation never claims a decision the
+    (possibly tighter) solver tier was asked for.
+    """
+    from repro.bounds.propagator import get_propagator
+    from repro.certify.presolve import variation_from_reference
+    from repro.certify.results import GlobalCertificate, LocalCertificate
+    from repro.nn.affine import affine_chain_forward
+
+    t0 = time.perf_counter()
+    local = query.kind.startswith("local")
+    box = query.presolve_input_box()
+    layer_bounds = query.shared_bounds
+    if layer_bounds is None:
+        delta = None if local else query.delta
+        layer_bounds = get_propagator(bounds).propagate(query.layers, box, delta)
+    detail = {
+        "verdict": "undecided",
+        "degraded": True,
+        "bounds": layer_bounds.method,
+    }
+    if query.epsilon is not None:
+        detail["epsilon"] = float(query.epsilon)
+    if local:
+        out = layer_bounds.output
+        base = affine_chain_forward(query.layers, query.center)
+        return LocalCertificate(
+            center=query.center,
+            delta=float(query.delta),
+            epsilons=variation_from_reference(out.lo, out.hi, base),
+            output_lo=out.lo.copy(),
+            output_hi=out.hi.copy(),
+            method="degraded",
+            exact=False,
+            solve_time=time.perf_counter() - t0,
+            detail=detail,
+        )
+    return GlobalCertificate(
+        delta=float(query.delta),
+        epsilons=layer_bounds.output_variation_bounds(),
+        method="degraded",
+        exact=False,
+        solve_time=time.perf_counter() - t0,
+        detail=detail,
+    )
+
+
+def _degraded_result(
+    index: int, query: CertificationQuery, reason: str, attempts: int
+) -> BatchResult:
+    """Resolve an abandoned query to a sound ``degraded`` answer.
+
+    Tries the symbolic propagator first (tight), plain IBP second
+    (simpler, nearly unbreakable).  Only if *both* bound engines fail —
+    which means the query itself is broken, not the compute — does the
+    query surface as an ordinary error result.
+    """
+    t0 = time.perf_counter()
+    error = None
+    for bounds in ("symbolic", "ibp"):
+        try:
+            cert = _degraded_certificate(query, bounds)
+        # repro-lint: ignore[RPR005] — degradation is the last resort: any bound-propagation failure falls through to the looser engine, and the final failure is surfaced verbatim as a normal error result below
+        except Exception as exc:
+            cls = type(exc)
+            error = (f"{cls.__module__}.{cls.__qualname__}", traceback.format_exc())
+            continue
+        return BatchResult(
+            index=index, tag=query.tag, certificate=cert,
+            detail={"degraded": True, "reason": reason, "attempts": attempts},
+            elapsed=time.perf_counter() - t0,
+        )
+    error_type, stack = error
+    return BatchResult(
+        index=index, tag=query.tag, error=stack,
+        detail={
+            "error_type": error_type,
+            "error_message": f"degradation failed after: {reason}",
+            "traceback": stack,
+            "attempts": attempts,
+        },
+        elapsed=time.perf_counter() - t0,
+    )
 
 
 class BatchCertifier:
@@ -397,6 +554,24 @@ class BatchCertifier:
             presolve in their worker.  Per-query certificates are
             bit-identical to the scalar presolve tier's, so turning
             this off changes scheduling only, never results.
+        retry: :class:`~repro.runtime.retry.RetryPolicy` for transient
+            per-query failures (worker deaths, broken pools, injected
+            chaos faults).  ``None`` uses the default policy.  A query
+            that exhausts its attempts (or the batch's retry budget)
+            resolves to a sound *degraded* answer — finite bounds,
+            ``verdict="undecided"``, ``detail["degraded"]=True`` —
+            never an error.  Permanent failures (bad inputs, real
+            bugs) are never retried and surface as error results
+            exactly as before.
+        query_timeout: Optional *hard* per-query wall-clock limit in
+            seconds, enforced by a parent-side watchdog that SIGKILLs
+            the worker running an overdue query and rebuilds the pool.
+            Unlike ``CertificationQuery.time_limit`` (a cooperative
+            solver budget), this bounds the query even when a native
+            solve wedges.  Timed-out queries degrade (or retry, with
+            ``RetryPolicy(retry_timeouts=True)``).  Pool mode only:
+            inline execution (``max_workers=1``) has no process to
+            kill.
 
     Attributes:
         bounds_cache_info: After :meth:`run`, a dict with the shared
@@ -409,19 +584,36 @@ class BatchCertifier:
             stats: ``{"groups": batched presolve calls made,
             "queries": queries screened by them, "answered": queries
             they decided (certified or refuted) without any dispatch}``.
+        fault_stats: After :meth:`run`, that batch's fault-tolerance
+            counters: ``retries`` (re-dispatched attempts),
+            ``degraded`` (queries resolved by graceful degradation),
+            ``timeouts`` (hard-timeout expirations), ``workers_killed``
+            (stuck workers SIGKILLed by the watchdog) and
+            ``pool_rebuilds`` (broken pools replaced mid-batch).
     """
 
     def __init__(
-        self, max_workers: int | None = None, bulk_presolve: bool = True
+        self,
+        max_workers: int | None = None,
+        bulk_presolve: bool = True,
+        retry: RetryPolicy | None = None,
+        query_timeout: float | None = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if query_timeout is not None and not query_timeout > 0:
+            # `not > 0` also rejects NaN (same idiom as CertificationQuery).
+            raise ValueError("query_timeout must be positive seconds or None")
         self.max_workers = max_workers
         self.bulk_presolve = bulk_presolve
+        self.retry = RetryPolicy() if retry is None else retry
+        self.query_timeout = query_timeout
         self.bounds_cache_info: dict[str, int] = {"entries": 0, "shared": 0}
         self.presolve_stats: dict[str, int] = {
             "groups": 0, "queries": 0, "answered": 0,
         }
+        self.fault_stats: dict[str, int] = dict(_FAULT_STATS_ZERO)
+        self._retry_budget = 0
 
     def _attach_shared_bounds(self, queries: list[CertificationQuery]) -> None:
         """Compute one LayerBounds per repeated (network, input-box) pair.
@@ -560,6 +752,7 @@ class BatchCertifier:
         """
         queries = list(queries)
         total = len(queries)
+        self.fault_stats = dict(_FAULT_STATS_ZERO)
         if total == 0:
             return []
         results: list[BatchResult | None] = [None] * total
@@ -575,6 +768,7 @@ class BatchCertifier:
             return [r for r in results if r is not None]
         workers = self.max_workers or os.cpu_count() or 1
         workers = min(workers, len(pending))
+        self._retry_budget = self.retry.batch_budget(len(pending))
         if workers == 1:
             if (
                 len(pending) == 1
@@ -589,42 +783,318 @@ class BatchCertifier:
                 )
             dispatched = self._run_serial(pending, total, done, progress)
         else:
-            try:
-                dispatched = self._run_pool(
-                    pending, workers, total, done, progress
-                )
-            except _POOL_FAILURES:
-                # Sandboxes without fork support, or a worker process
-                # that died (OOM kill, native crash): stay correct, run
-                # inline.
-                dispatched = self._run_serial(pending, total, done, progress)
+            supervisor = _PoolSupervisor(self, workers, total, done, progress)
+            dispatched = supervisor.run(pending)
         for result in dispatched:
             results[result.index] = result
         return [r for r in results if r is not None]  # every slot filled
 
-    @staticmethod
-    def _run_serial(pending, total, done, progress) -> list[BatchResult]:
+    def _run_serial(self, pending, total, done, progress) -> list[BatchResult]:
+        """Inline execution with the same retry/degradation semantics."""
         results = []
         for index, query in pending:
-            result = _run_one((index, query))
+            result = self._attempt_serial(index, query)
             results.append(result)
             done += 1
             if progress is not None:
                 progress(done, total, result)
         return results
 
-    @staticmethod
-    def _run_pool(pending, workers, total, done, progress) -> list[BatchResult]:
-        results: list[BatchResult] = []  # caller slots by result.index
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_run_one, (i, q)) for i, q in pending]
-            for future in as_completed(futures):
+    def _attempt_serial(
+        self, index: int, query: CertificationQuery, prior_attempts: int = 0
+    ) -> BatchResult:
+        """Run one query inline under the retry policy until resolved.
+
+        Transient failures retry with backoff while attempts and the
+        batch budget last, then degrade; permanent failures surface
+        immediately as error results.  ``prior_attempts`` carries over
+        attempts a pool already charged before falling back inline.
+        """
+        attempt = prior_attempts
+        while True:
+            attempt += 1
+            result = _run_one((index, query))
+            if result.error is None:
+                break
+            error_type = str((result.detail or {}).get("error_type", ""))
+            if self.retry.classify_name(error_type) != "transient":
+                break
+            if attempt >= self.retry.max_attempts or self._retry_budget <= 0:
+                self.fault_stats["degraded"] += 1
+                result = _degraded_result(index, query, error_type, attempt)
+                break
+            self._retry_budget -= 1
+            self.fault_stats["retries"] += 1
+            time.sleep(self.retry.delay(attempt, index))
+        detail = dict(result.detail or {})
+        detail.setdefault("attempts", attempt)
+        result.detail = detail
+        return result
+
+
+class _PoolSupervisor:
+    """One :meth:`BatchCertifier.run`'s process-pool lifecycle.
+
+    The naive ``submit-all / as_completed`` loop it replaces had two
+    production-fatal behaviors: a single worker death broke the pool
+    and *discarded every completed result* (the whole batch re-ran
+    serially), and a wedged native solve stalled the batch forever
+    because ``time_limit`` is cooperative.  The supervisor instead:
+
+    * salvages every completed future when the pool breaks, rebuilds
+      the pool (up to ``RetryPolicy.max_pool_rebuilds`` times) and
+      re-dispatches only the unfinished queries;
+    * retries transient per-query failures under the engine's
+      :class:`~repro.runtime.retry.RetryPolicy` with deterministic
+      backoff and the shared batch budget;
+    * enforces ``query_timeout`` as a *hard* wall-clock limit: workers
+      report ``(query, pid)`` start markers through a
+      ``multiprocessing.SimpleQueue``, and a watchdog SIGKILLs any
+      worker whose query is overdue (the broken pool is then rebuilt
+      and the timed-out query degrades);
+    * when the pool cannot be (re)built at all, finishes the remaining
+      queries inline — completed pool results are still kept.
+
+    Queries resolve exactly once each (progress fires exactly once per
+    query, monotonically), to a successful result, a permanent error
+    result, or a sound degraded answer.
+    """
+
+    #: Event-loop tick: bounds watchdog latency and backoff sleep.
+    _POLL_SECONDS = 0.05
+
+    def __init__(self, engine, workers, total, done, progress) -> None:
+        self.engine = engine
+        self.policy: RetryPolicy = engine.retry
+        self.workers = workers
+        self.query_timeout = engine.query_timeout
+        self.stats = engine.fault_stats
+        self.total = total
+        self.completed = done
+        self.progress = progress
+        self.pool = None
+        self.sink = None
+        self.broken = False
+        self.rebuilds = 0
+        self.queries: dict[int, CertificationQuery] = {}
+        self.attempts: dict[int, int] = {}
+        self.waiting: dict[int, float] = {}  # index -> earliest dispatch stamp
+        self.futures: dict = {}              # Future -> index
+        self.running: dict[int, tuple[int, float]] = {}  # index -> (pid, since)
+        self.timed_out: set[int] = set()
+        self.finals: dict[int, BatchResult] = {}
+
+    def run(self, pending) -> list[BatchResult]:
+        """Resolve every pending query; results sorted by index."""
+        self.queries = dict(pending)
+        self.attempts = {i: 0 for i in self.queries}
+        self.waiting = {i: 0.0 for i in self.queries}
+        try:
+            while len(self.finals) < len(self.queries):
+                if not self._step():
+                    self._serial_fallback()
+                    break
+        finally:
+            self._teardown_pool()
+        return [self.finals[i] for i in sorted(self.finals)]
+
+    def _step(self) -> bool:
+        """One event-loop tick; False when no pool can be (re)built."""
+        now = time.perf_counter()
+        ready = sorted(i for i, stamp in self.waiting.items() if stamp <= now)
+        if ready and not self.broken:
+            if not self._ensure_pool():
+                return False
+            for index in ready:
+                if self.broken:
+                    break  # pool died at submit; rebuild next tick
+                self._dispatch(index)
+        self._wait_events()
+        self._drain_starts()
+        self._collect_done()
+        self._watchdog()
+        if self.broken and not self.futures:
+            # Every in-flight future has resolved against the broken
+            # pool (salvaged or requeued); safe to replace it now.
+            self._teardown_pool()
+        return True
+
+    def _ensure_pool(self) -> bool:
+        if self.pool is not None:
+            return True
+        if self.rebuilds > self.policy.max_pool_rebuilds:
+            return False
+        try:
+            self.sink = multiprocessing.SimpleQueue()
+            self.pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_pool_init,
+                initargs=(self.sink, _faults.active_plan()),
+            )
+        except _POOL_FAILURES:
+            # Sandboxes without fork support and similar: stay correct,
+            # run inline (the caller falls back via _serial_fallback).
+            self.pool = None
+            return False
+        return True
+
+    def _dispatch(self, index: int) -> None:
+        query = self.queries[index]
+        self.attempts[index] += 1
+        del self.waiting[index]
+        try:
+            if _faults.ENABLED:
+                _faults.fault_point("batch.dispatch")
+            future = self.pool.submit(_run_one, (index, query))
+        except _faults.InjectedFault as exc:
+            self._transient(index, str(exc))
+        except _POOL_FAILURES:
+            # The pool was already unusable; the query never ran, so
+            # requeue it uncharged.
+            self.broken = True
+            self.attempts[index] -= 1
+            self.waiting[index] = 0.0
+        else:
+            self.futures[future] = index
+
+    def _wait_events(self) -> None:
+        if self.futures:
+            wait(
+                list(self.futures),
+                timeout=self._POLL_SECONDS,
+                return_when=FIRST_COMPLETED,
+            )
+        elif self.waiting and not self.broken:
+            # Nothing in flight: sleep toward the earliest backoff wake.
+            pause = min(self.waiting.values()) - time.perf_counter()
+            if pause > 0:
+                time.sleep(min(pause, self._POLL_SECONDS))
+
+    def _drain_starts(self) -> None:
+        sink = self.sink
+        if sink is None:
+            return
+        inflight = set(self.futures.values())
+        try:
+            while not sink.empty():
+                index, pid = sink.get()
+                if index in inflight:
+                    # Stamped with parent receipt time: one clock for
+                    # the watchdog, no cross-process skew.
+                    self.running[index] = (pid, time.perf_counter())
+        except (OSError, EOFError):
+            pass  # sink pipe died with its pool; markers just go stale
+
+    def _collect_done(self) -> None:
+        for future in [f for f in self.futures if f.done()]:
+            index = self.futures.pop(future)
+            started = self.running.pop(index, None)
+            was_timed_out = index in self.timed_out
+            self.timed_out.discard(index)
+            try:
                 result = future.result()
-                results.append(result)
-                done += 1
-                if progress is not None:
-                    progress(done, total, result)
-        return results
+            except _faults.InjectedFault as exc:
+                self._transient(index, str(exc))
+                continue
+            except _POOL_FAILURES:
+                self.broken = True
+                if was_timed_out:
+                    self._timeout(index)
+                elif started is None:
+                    # Never reached a worker — an innocent victim of
+                    # whatever broke the pool.  Requeue uncharged.
+                    self.attempts[index] -= 1
+                    self.waiting[index] = 0.0
+                else:
+                    self._transient(index, "worker process died mid-query")
+                continue
+            if result.error is None:
+                self._finalize(self._stamped(result, index))
+                continue
+            error_type = str((result.detail or {}).get("error_type", ""))
+            if self.policy.classify_name(error_type) == "transient":
+                self._transient(index, error_type)
+            else:
+                self._finalize(self._stamped(result, index))
+
+    def _watchdog(self) -> None:
+        if self.query_timeout is None:
+            return
+        now = time.perf_counter()
+        for index, (pid, since) in self.running.items():
+            if index in self.timed_out or now - since <= self.query_timeout:
+                continue
+            # SIGKILL is deliberate: a wedged native solve ignores
+            # cooperative signals.  The kill breaks the pool; the
+            # normal salvage/rebuild path cleans up after it.
+            self.timed_out.add(index)
+            self.stats["workers_killed"] += 1
+            self.broken = True
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                pass  # worker already gone; the broken pool surfaces it
+
+    def _transient(self, index: int, reason: str) -> None:
+        """Retry a transiently failed query, or degrade it soundly."""
+        attempt = self.attempts[index]
+        if attempt < self.policy.max_attempts and self.engine._retry_budget > 0:
+            self.engine._retry_budget -= 1
+            self.stats["retries"] += 1
+            self.waiting[index] = (
+                time.perf_counter() + self.policy.delay(attempt, index)
+            )
+            return
+        self.stats["degraded"] += 1
+        self._finalize(
+            _degraded_result(index, self.queries[index], reason, attempt)
+        )
+
+    def _timeout(self, index: int) -> None:
+        """Resolve a query whose worker the watchdog had to kill."""
+        self.stats["timeouts"] += 1
+        if self.policy.retry_timeouts:
+            self._transient(index, "hard query timeout")
+            return
+        self.stats["degraded"] += 1
+        self._finalize(_degraded_result(
+            index, self.queries[index],
+            f"hard timeout: no result within {self.query_timeout:.6g}s",
+            self.attempts[index],
+        ))
+
+    def _serial_fallback(self) -> None:
+        """Finish everything undispatched inline; keep pool results."""
+        for index in sorted(self.waiting):
+            del self.waiting[index]
+            self._finalize(self.engine._attempt_serial(
+                index, self.queries[index], self.attempts[index]
+            ))
+
+    def _finalize(self, result: BatchResult) -> None:
+        self.finals[result.index] = result
+        self.completed += 1
+        if self.progress is not None:
+            self.progress(self.completed, self.total, result)
+
+    def _stamped(self, result: BatchResult, index: int) -> BatchResult:
+        detail = dict(result.detail or {})
+        detail["attempts"] = self.attempts[index]
+        result.detail = detail
+        return result
+
+    def _teardown_pool(self) -> None:
+        pool, self.pool = self.pool, None
+        sink, self.sink = self.sink, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        if sink is not None:
+            sink.close()
+        self.running.clear()
+        if self.broken:
+            self.broken = False
+            self.rebuilds += 1
+            self.stats["pool_rebuilds"] += 1
 
 
 # -- query builders ----------------------------------------------------------
@@ -765,6 +1235,8 @@ def global_query(
 def _solve_chunk(payload):
     """Worker: solve a contiguous chunk of objectives on a shared model."""
     model, objectives, backend, time_limit = payload
+    if _faults.ENABLED:
+        _faults.fault_point("solve.chunk")
     return model.solve_many(objectives, backend=backend, time_limit=time_limit)
 
 
@@ -802,14 +1274,25 @@ def parallel_solve_many(
         return model.solve_many(objectives, backend=backend, time_limit=time_limit)
     chunk = math.ceil(len(objectives) / workers)
     chunks = [objectives[k : k + chunk] for k in range(0, len(objectives), chunk)]
+    parts: list[list | None] = [None] * len(chunks)
     try:
         with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-            parts = list(
-                pool.map(
-                    _solve_chunk,
-                    [(model, part, backend, time_limit) for part in chunks],
-                )
-            )
+            futures = {
+                pool.submit(_solve_chunk, (model, part, backend, time_limit)): k
+                for k, part in enumerate(chunks)
+            }
+            for future in as_completed(futures):
+                try:
+                    parts[futures[future]] = future.result()
+                except _POOL_FAILURES + (_faults.InjectedFault,):
+                    # Salvage: keep every chunk that finished; only
+                    # this one re-solves inline below.
+                    continue
     except _POOL_FAILURES:
-        return model.solve_many(objectives, backend=backend, time_limit=time_limit)
+        pass  # pool never came up; unfinished chunks re-solve inline
+    for k, part in enumerate(parts):
+        if part is None:
+            parts[k] = model.solve_many(
+                chunks[k], backend=backend, time_limit=time_limit
+            )
     return [result for part in parts for result in part]
